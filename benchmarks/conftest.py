@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+it, writes it under ``benchmarks/results/``, and asserts the paper's
+qualitative shape.  Window lengths scale with the environment:
+
+* ``REPRO_BENCH_WINDOW`` — instructions per timing simulation
+  (default 60 000);
+* ``REPRO_BENCH_FWINDOW`` — instructions per functional/traffic
+  simulation (default 120 000).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+TIMING_WINDOW = _env_int("REPRO_BENCH_WINDOW", 60_000)
+FUNCTIONAL_WINDOW = _env_int("REPRO_BENCH_FWINDOW", 120_000)
+
+
+@pytest.fixture(scope="session")
+def timing_window() -> int:
+    return TIMING_WINDOW
+
+
+@pytest.fixture(scope="session")
+def functional_window() -> int:
+    return FUNCTIONAL_WINDOW
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered artifact and persist it for EXPERIMENTS.md."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,72 @@
+"""Extension — context switches in the timing domain.
+
+Table 4 measures the *traffic* cost of context switches; this
+extension measures the *performance* cost: how many cycles each stack
+scheme loses when its state is flushed every N instructions.  The SVF
+re-warms by writing (no fills on first-store), while the stack cache
+pays line fills on every first write after the flush — so the SVF
+should retain more of its speedup under frequent switching.
+"""
+
+from repro.harness import percent, render_table
+from repro.uarch.config import table2_config
+from repro.uarch.pipeline import simulate
+from repro.workloads import cached_trace, workload
+
+BENCHMARKS = ["186.crafty", "176.gcc", "300.twolf"]
+
+
+def run_ablation(window):
+    period = max(window // 8, 1_000)
+    rows = []
+    for name in BENCHMARKS:
+        trace = cached_trace(workload(name), window)
+        results = {}
+        for label, period_value in (("no switches", 0),
+                                    ("switching", period)):
+            base = table2_config(16, context_switch_period=period_value)
+            baseline = simulate(trace, base)
+            svf = simulate(trace, base.with_svf(mode="svf", ports=2))
+            cache = simulate(
+                trace, base.with_svf(mode="stack_cache", ports=2)
+            )
+            results[label] = (
+                svf.speedup_over(baseline),
+                cache.speedup_over(baseline),
+            )
+        rows.append((name, results))
+    return rows
+
+
+def test_context_switch_timing(benchmark, emit, timing_window):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(timing_window), rounds=1, iterations=1
+    )
+    emit(
+        "ablation_context_switch_timing",
+        render_table(
+            ["Benchmark", "SVF (quiet)", "SVF (switching)",
+             "$ (quiet)", "$ (switching)"],
+            [
+                (
+                    name,
+                    percent(results["no switches"][0]),
+                    percent(results["switching"][0]),
+                    percent(results["no switches"][1]),
+                    percent(results["switching"][1]),
+                )
+                for name, results in rows
+            ],
+            title="Extension: speedup retention under context switches",
+        ),
+    )
+    for name, results in rows:
+        svf_quiet, cache_quiet = results["no switches"]
+        svf_switching, cache_switching = results["switching"]
+        # Both schemes survive switching with most of their gain.
+        assert svf_switching > svf_quiet - 0.10, name
+        # The SVF loses no more than the stack cache does (its
+        # first-store-no-fill semantics re-warm for free).
+        svf_loss = svf_quiet - svf_switching
+        cache_loss = cache_quiet - cache_switching
+        assert svf_loss <= cache_loss + 0.05, name

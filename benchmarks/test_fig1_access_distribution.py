@@ -1,0 +1,41 @@
+"""Figure 1 — run-time memory-access distribution.
+
+Paper shape: stack references are the majority of memory accesses
+(56% on SPECint2000), ``$sp``-relative addressing dominates the stack
+(82% of stack accesses), and eon is the ``$gpr``-heavy outlier.
+"""
+
+from repro.harness import characterize
+from repro.trace.regions import AccessMethod
+
+
+def test_fig1(benchmark, emit, functional_window):
+    result = benchmark.pedantic(
+        lambda: characterize(max_instructions=functional_window),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig1_access_distribution", result.render_fig1())
+
+    distributions = result.distributions
+    stack_fractions = [d.stack_fraction for d in distributions.values()]
+    average_stack = sum(stack_fractions) / len(stack_fractions)
+    assert average_stack > 0.4, "stack refs should dominate memory refs"
+
+    sp_fractions = [
+        d.sp_fraction_of_stack for d in distributions.values()
+    ]
+    average_sp = sum(sp_fractions) / len(sp_fractions)
+    assert average_sp > 0.6, "$sp-relative should dominate stack refs"
+
+    # eon is among the gpr-heavy outliers (paper: >45% of its stack
+    # accesses go through a $gpr, the single exception in the suite).
+    gpr_shares = {
+        name: d.fraction(AccessMethod.STACK_GPR)
+        / max(d.stack_fraction, 1e-9)
+        for name, d in distributions.items()
+    }
+    ranked = sorted(gpr_shares, key=gpr_shares.get, reverse=True)
+    assert "252.eon" in ranked[:3], "eon should be a gpr-heavy outlier"
+    suite_average = sum(gpr_shares.values()) / len(gpr_shares)
+    assert gpr_shares["252.eon"] > suite_average

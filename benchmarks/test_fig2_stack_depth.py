@@ -1,0 +1,30 @@
+"""Figure 2 — stack-depth variation over time.
+
+Paper shape: an 8KB (1000-unit) window covers the maximum stack depth
+for most applications, and the depth is stable after initialization.
+"""
+
+from repro.harness import characterize
+
+
+def test_fig2(benchmark, emit, functional_window):
+    result = benchmark.pedantic(
+        lambda: characterize(max_instructions=functional_window),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig2_stack_depth", result.render_fig2())
+
+    profiles = result.depth_profiles
+    # Most applications stay within ~1000 64-bit units (8 KB).
+    within_1000 = sum(1 for p in profiles.values() if p.max_depth <= 1100)
+    assert within_1000 >= len(profiles) - 2
+
+    # crafty's representative active region is a few hundred units.
+    crafty = profiles["186.crafty"]
+    low, high = crafty.stable_range()
+    assert 50 <= high <= 1100
+    assert high - low >= 50  # visible oscillation
+
+    # gcc / perlbmk are the deep ones in our suite.
+    assert profiles["176.gcc"].max_depth > profiles["164.gzip"].max_depth

@@ -1,0 +1,40 @@
+"""Figure 3 — offset locality of stack references.
+
+Paper shape: over 99% of stack references fall within 8 KB of the TOS
+(gcc excepted), no references land beyond the TOS, and the average
+distance spans a wide range with gcc the far outlier.
+"""
+
+from repro.harness import characterize
+
+
+def test_fig3(benchmark, emit, functional_window):
+    result = benchmark.pedantic(
+        lambda: characterize(max_instructions=functional_window),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig3_offset_locality", result.render_fig3())
+
+    localities = result.localities
+    within = [
+        locality.fraction_within(8192)
+        for locality in localities.values()
+    ]
+    for name, locality in localities.items():
+        assert locality.beyond_tos == 0, f"{name}: refs beyond TOS"
+    # Paper: over 99% of references within 8KB of TOS, one exception.
+    assert sorted(within)[1] > 0.9, "at most one far-offset outlier"
+    assert sum(within) / len(within) > 0.9
+
+    if functional_window >= 100_000:
+        # gcc's deep recursive frames give it the largest average
+        # offset in the paper (380B); its fold phase needs a window
+        # long enough to get past tree construction.
+        gcc_offset = localities["176.gcc"].average_offset
+        others = [
+            loc.average_offset
+            for name, loc in localities.items()
+            if name not in ("176.gcc", "253.perlbmk")
+        ]
+        assert gcc_offset > sum(others) / len(others)

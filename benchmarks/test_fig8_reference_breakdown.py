@@ -1,0 +1,29 @@
+"""Figure 8 — breakdown of SVF reference types.
+
+Paper shape: on average ~86% of stack references are morphed directly
+in the front-end ($sp-relative in range) and ~14% are re-routed after
+address calculation; eon is the re-route-heavy outlier.
+"""
+
+from repro.harness import fig7_svf_vs_stack_cache
+
+
+def test_fig8(benchmark, emit, timing_window):
+    result = benchmark.pedantic(
+        lambda: fig7_svf_vs_stack_cache(max_instructions=timing_window),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig8_breakdown", result.render_fig8())
+
+    fractions = {
+        name: stats.svf_fast_fraction
+        for name, stats in result.svf_stats.items()
+        if stats.svf_fast_loads + stats.svf_fast_stores + stats.svf_rerouted
+    }
+    average_fast = sum(fractions.values()) / len(fractions)
+    assert average_fast > 0.6, (
+        "most stack references should morph in the front-end"
+    )
+    # eon re-routes far more than the suite average.
+    assert fractions["252.eon"] < average_fast

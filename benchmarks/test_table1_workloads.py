@@ -1,0 +1,14 @@
+"""Table 1 — the benchmark/input inventory."""
+
+from repro.harness import table1_workloads
+from repro.workloads import BENCHMARK_ORDER, all_inputs
+
+
+def test_table1(benchmark, emit):
+    text = benchmark.pedantic(table1_workloads, rounds=1, iterations=1)
+    emit("table1_workloads", text)
+    for name in BENCHMARK_ORDER:
+        assert name in text
+    # Paper Table 1 lists 12 benchmarks; our inputs expand to 17 rows
+    # (bzip2 x2, eon x2, gcc x2, gzip x3) as in the paper's Table 3.
+    assert len(all_inputs()) == 17

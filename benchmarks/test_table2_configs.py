@@ -1,0 +1,22 @@
+"""Table 2 — the processor models."""
+
+from repro.harness import table2_models
+from repro.uarch.config import table2_config
+
+
+def test_table2(benchmark, emit):
+    text = benchmark.pedantic(table2_models, rounds=1, iterations=1)
+    emit("table2_models", text)
+    assert "16" in text and "4-way 64KB" in text
+
+
+def test_widths_scale_as_in_paper(benchmark):
+    configs = benchmark.pedantic(
+        lambda: [table2_config(w) for w in (4, 8, 16)],
+        rounds=1,
+        iterations=1,
+    )
+    four, eight, sixteen = configs
+    assert (four.ruu_size, eight.ruu_size, sixteen.ruu_size) == (64, 128, 256)
+    assert (four.lsq_size, eight.lsq_size, sixteen.lsq_size) == (32, 64, 128)
+    assert (four.ifq_size, eight.ifq_size, sixteen.ifq_size) == (16, 32, 64)

@@ -1,0 +1,48 @@
+"""Table 3 — memory traffic of stack cache vs SVF at 2/4/8 KB.
+
+Paper shape: the SVF's traffic is orders of magnitude below the stack
+cache's in most scenarios; traffic shrinks as capacity grows; gcc
+retains traffic even at 8 KB (deepest frames); perlbmk's traffic is
+size-insensitive (its interpreter frame exceeds every capacity).
+"""
+
+from repro.harness import table3_memory_traffic
+
+
+def test_table3(benchmark, emit, functional_window):
+    result = benchmark.pedantic(
+        lambda: table3_memory_traffic(max_instructions=functional_window),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table3_memory_traffic", result.render())
+
+    total_cache = 0
+    total_svf = 0
+    for per_size in result.traffic.values():
+        for size, traffic in per_size.items():
+            total_cache += (
+                traffic.stack_cache_qw_in + traffic.stack_cache_qw_out
+            )
+            total_svf += traffic.svf_qw_in + traffic.svf_qw_out
+    assert total_cache > 5 * total_svf, (
+        "aggregate SVF traffic should be far below the stack cache"
+    )
+
+    # Traffic decreases with capacity for the stack cache.
+    for name, per_size in result.traffic.items():
+        sizes = sorted(per_size)
+        ins = [per_size[s].stack_cache_qw_in for s in sizes]
+        assert ins[0] >= ins[-1], name
+
+    # gcc keeps traffic at 8 KB; gzip is clean everywhere.
+    gcc = result.traffic["gcc.integrate"][8192]
+    assert gcc.svf_qw_in + gcc.svf_qw_out > 0 or (
+        gcc.stack_cache_qw_in > 0
+    )
+    gzip_row = result.traffic["gzip.graphic"][2048]
+    assert gzip_row.svf_qw_in + gzip_row.svf_qw_out < 100
+
+    # perlbmk: size-insensitive stack-cache thrashing (the anomaly).
+    perl = result.traffic["perlbmk.scrabbl"]
+    assert perl[8192].stack_cache_qw_in > 0.5 * perl[2048].stack_cache_qw_in

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Design-space exploration: size x ports x width for the SVF.
+
+The paper's conclusion pitches the SVF as a design *option*: "the die
+area allocated to the SVF can be reallocated from space that
+otherwise would've gone to a larger first-level cache."  This example
+treats the repository as the design tool that claim implies: sweep SVF
+capacity and port count across machine widths and print the speedup
+surface, so an architect can pick the smallest configuration that
+captures the benefit (the paper's answer: 8 KB, 2 ports).
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro.harness import percent, render_table
+from repro.uarch import simulate, table2_config
+from repro.workloads import workload
+
+BENCHMARK = "186.crafty"
+WINDOW = 40_000
+CAPACITIES = (2048, 4096, 8192)
+PORTS = (1, 2, 4)
+WIDTHS = (4, 8, 16)
+
+
+def main() -> None:
+    trace = workload(BENCHMARK).trace(max_instructions=WINDOW)
+    print(f"workload {BENCHMARK}, {WINDOW:,}-instruction window\n")
+
+    for width in WIDTHS:
+        base = table2_config(width, dl1_ports=2)
+        baseline = simulate(trace, base)
+        rows = []
+        for capacity in CAPACITIES:
+            row = [f"{capacity // 1024} KB"]
+            for ports in PORTS:
+                run = simulate(
+                    trace,
+                    base.with_svf(
+                        mode="svf", capacity_bytes=capacity, ports=ports
+                    ),
+                )
+                row.append(percent(run.speedup_over(baseline)))
+            rows.append(tuple(row))
+        print(render_table(
+            ["SVF size", *[f"{p} port(s)" for p in PORTS]],
+            rows,
+            title=(
+                f"{width}-wide machine "
+                f"(baseline IPC {baseline.ipc:.2f})"
+            ),
+        ))
+        print()
+
+    print("Reading the surface: gains grow with width (Figure 5), the "
+          "second port captures\nmost of the port benefit (Figure 6), and "
+          "capacity beyond the workload's active\nstack region buys "
+          "nothing (Section 2's 8 KB sizing argument).")
+
+
+if __name__ == "__main__":
+    main()

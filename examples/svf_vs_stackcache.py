@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Head-to-head: SVF vs the decoupled stack cache (paper Section 5.3).
+
+Reproduces the paper's central comparison on a few benchmarks:
+
+* performance at matched ports — (2+2) SVF vs (2+2) stack cache vs the
+  (2+0) baseline (Figure 7);
+* quad-word traffic at 2/4/8 KB (Table 3);
+* writeback bytes per context switch (Table 4).
+
+Run:  python examples/svf_vs_stackcache.py
+"""
+
+from repro.core import simulate_traffic
+from repro.harness import percent, render_table
+from repro.uarch import simulate, table2_config
+from repro.workloads import workload
+
+BENCHMARKS = ["186.crafty", "252.eon", "300.twolf"]
+WINDOW = 50_000
+
+
+def performance_rows():
+    base = table2_config(16, dl1_ports=2)
+    rows = []
+    for name in BENCHMARKS:
+        trace = workload(name).trace(max_instructions=WINDOW)
+        baseline = simulate(trace, base)
+        stack_cache = simulate(
+            trace, base.with_svf(mode="stack_cache", ports=2)
+        )
+        svf = simulate(trace, base.with_svf(mode="svf", ports=2))
+        no_squash = simulate(
+            trace, base.with_svf(mode="svf", ports=2, no_squash=True)
+        )
+        rows.append(
+            (
+                name,
+                f"{baseline.ipc:.2f}",
+                percent(stack_cache.speedup_over(baseline)),
+                percent(svf.speedup_over(baseline)),
+                percent(no_squash.speedup_over(baseline)),
+                svf.svf_squashes,
+            )
+        )
+    return rows
+
+
+def traffic_rows():
+    rows = []
+    for name in BENCHMARKS:
+        trace = workload(name).trace(max_instructions=WINDOW)
+        for size in (2048, 8192):
+            result = simulate_traffic(trace, capacity_bytes=size)
+            rows.append(
+                (
+                    f"{name} @{size // 1024}KB",
+                    result.stack_cache_qw_in,
+                    result.stack_cache_qw_out,
+                    result.svf_qw_in,
+                    result.svf_qw_out,
+                )
+            )
+    return rows
+
+
+def context_switch_rows():
+    rows = []
+    for name in BENCHMARKS:
+        trace = workload(name).trace(max_instructions=WINDOW)
+        result = simulate_traffic(
+            trace, capacity_bytes=8192, context_switch_period=WINDOW // 10
+        )
+        rows.append(
+            (
+                name,
+                f"{result.stack_cache_switch_bytes_avg:.0f}",
+                f"{result.svf_switch_bytes_avg:.0f}",
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    print(render_table(
+        ["Benchmark", "base IPC", "(2+2)$ cache", "(2+2) SVF",
+         "(2+2) SVF no_squash", "squashes"],
+        performance_rows(),
+        title="Performance vs the (2+0) baseline (16-wide, Figure 7)",
+    ))
+    print()
+    print(render_table(
+        ["Configuration", "$ QW in", "$ QW out", "SVF QW in", "SVF QW out"],
+        traffic_rows(),
+        title="Memory traffic (Table 3)",
+    ))
+    print()
+    print(render_table(
+        ["Benchmark", "stack cache B/switch", "SVF B/switch"],
+        context_switch_rows(),
+        title="Context-switch writeback (Table 4)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

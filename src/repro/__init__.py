@@ -1,0 +1,43 @@
+"""repro — reproduction of "Stack Value File: Custom Microarchitecture
+for the Stack" (Lee, Smelyanskiy, Newburn, Tyson — HPCA 2001).
+
+Layers, bottom-up:
+
+* :mod:`repro.isa` — Alpha-like 64-bit RISC ISA and assembler;
+* :mod:`repro.lang` — MiniC compiler (the workload substrate);
+* :mod:`repro.emulator` — functional emulator producing dynamic traces;
+* :mod:`repro.trace` — trace records, region classification, analyses;
+* :mod:`repro.uarch` — out-of-order timing model (Table 2 machines);
+* :mod:`repro.core` — the Stack Value File, the decoupled stack-cache
+  baseline, and the traffic/context-switch models;
+* :mod:`repro.workloads` — the SPECint2000-inspired suite (Table 1);
+* :mod:`repro.harness` — one experiment driver per table/figure.
+
+Quick start::
+
+    from repro.workloads import workload
+    from repro.uarch import table2_config, simulate
+
+    trace = workload("crafty").trace(max_instructions=50_000)
+    base = table2_config(16)
+    svf = base.with_svf(mode="svf", ports=2)
+    print(simulate(trace, svf).speedup_over(simulate(trace, base)))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import StackCache, StackValueFile
+from repro.uarch import MachineConfig, SimStats, simulate, table2_config
+from repro.workloads import all_workloads, workload
+
+__all__ = [
+    "MachineConfig",
+    "SimStats",
+    "StackCache",
+    "StackValueFile",
+    "__version__",
+    "all_workloads",
+    "simulate",
+    "table2_config",
+    "workload",
+]

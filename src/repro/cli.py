@@ -1,0 +1,320 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``list``
+    list the workload suite (benchmarks, inputs, descriptions).
+``run <workload> [--input NAME] [--max-instructions N]``
+    compile and execute a workload on the functional emulator.
+``characterize [<workload> ...] [--max-instructions N]``
+    Figures 1-3 for the chosen workloads (default: whole suite).
+``simulate <workload> [--width W] [--svf MODE] [--ports P] ...``
+    time one workload on a Table-2 machine, optionally with a stack
+    unit attached, and report cycles/IPC (plus speedup vs baseline).
+``compile <file.mc> [--emit asm|trace]``
+    compile a MiniC source file; print assembly or run and trace.
+``experiment <name> [--window N]``
+    regenerate one paper artifact: table1, table2, fig1, fig2, fig3,
+    fig5, fig6, fig7, fig8, fig9, table3, table4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import (
+    characterize,
+    fig5_ideal_morphing,
+    fig6_progressive,
+    fig7_svf_vs_stack_cache,
+    fig9_svf_speedup,
+    table1_workloads,
+    table2_models,
+    table3_memory_traffic,
+    table4_context_switch,
+)
+from repro.uarch import simulate, table2_config
+from repro.workloads import BENCHMARK_ORDER, input_names, workload
+
+EXPERIMENTS = (
+    "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "table3", "table4",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stack Value File (HPCA 2001) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the workload suite")
+
+    run_parser = commands.add_parser("run", help="execute a workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--input", default=None)
+    run_parser.add_argument("--max-instructions", type=int, default=None)
+
+    char_parser = commands.add_parser(
+        "characterize", help="Figures 1-3 analyses"
+    )
+    char_parser.add_argument("workloads", nargs="*")
+    char_parser.add_argument(
+        "--max-instructions", type=int, default=100_000
+    )
+
+    sim_parser = commands.add_parser(
+        "simulate", help="time a workload on a Table-2 machine"
+    )
+    sim_parser.add_argument("workload")
+    sim_parser.add_argument("--input", default=None)
+    sim_parser.add_argument("--width", type=int, default=16,
+                            choices=(4, 8, 16))
+    sim_parser.add_argument("--dl1-ports", type=int, default=2)
+    sim_parser.add_argument(
+        "--svf", default="none",
+        choices=("none", "svf", "ideal", "stack_cache"),
+    )
+    sim_parser.add_argument("--ports", type=int, default=2)
+    sim_parser.add_argument("--capacity", type=int, default=8192)
+    sim_parser.add_argument("--no-squash", action="store_true")
+    sim_parser.add_argument("--predictor", default="perfect",
+                            choices=("perfect", "gshare"))
+    sim_parser.add_argument("--max-instructions", type=int, default=60_000)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile a MiniC source file"
+    )
+    compile_parser.add_argument("source")
+    compile_parser.add_argument("--emit", default="asm",
+                                choices=("asm", "run"))
+    compile_parser.add_argument("--max-instructions", type=int,
+                                default=None)
+
+    exp_parser = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    exp_parser.add_argument("name", choices=EXPERIMENTS)
+    exp_parser.add_argument("--window", type=int, default=None)
+
+    report_parser = commands.add_parser(
+        "report", help="run every experiment and write one markdown report"
+    )
+    report_parser.add_argument("--output", default="REPORT.md")
+    report_parser.add_argument("--timing-window", type=int, default=40_000)
+    report_parser.add_argument(
+        "--functional-window", type=int, default=80_000
+    )
+    report_parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="subset of benchmarks (default: full suite)",
+    )
+
+    trace_parser = commands.add_parser(
+        "trace", help="record a workload trace to a file"
+    )
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("output")
+    trace_parser.add_argument("--input", default=None)
+    trace_parser.add_argument("--max-instructions", type=int,
+                              default=100_000)
+
+    replay_parser = commands.add_parser(
+        "replay", help="time a recorded trace on a machine config"
+    )
+    replay_parser.add_argument("trace_file")
+    replay_parser.add_argument("--width", type=int, default=16,
+                               choices=(4, 8, 16))
+    replay_parser.add_argument(
+        "--svf", default="none",
+        choices=("none", "svf", "ideal", "stack_cache"),
+    )
+    replay_parser.add_argument("--ports", type=int, default=2)
+    return parser
+
+
+def cmd_list(_args) -> int:
+    print(table1_workloads())
+    print()
+    for name in BENCHMARK_ORDER:
+        print(f"{name}: inputs = {', '.join(input_names(name))}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    work = workload(args.workload, args.input)
+    machine = work.run(max_instructions=args.max_instructions)
+    print(f"{work.full_name}: {machine.instruction_count:,} instructions, "
+          f"halted={machine.halted}")
+    print(f"output: {machine.output}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    benchmarks = args.workloads or None
+    if benchmarks:
+        benchmarks = [workload(name).name for name in benchmarks]
+    result = characterize(
+        benchmarks=benchmarks, max_instructions=args.max_instructions
+    )
+    print(result.render_fig1())
+    print()
+    print(result.render_fig2())
+    print()
+    print(result.render_fig3())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    work = workload(args.workload, args.input)
+    trace = work.trace(max_instructions=args.max_instructions)
+    base = table2_config(
+        args.width,
+        dl1_ports=args.dl1_ports,
+        branch_predictor=args.predictor,
+    )
+    baseline = simulate(trace, base)
+    print(f"{work.full_name} on {base.name} "
+          f"({len(trace):,}-instruction window)")
+    print(f"baseline: {baseline.cycles:,} cycles, IPC {baseline.ipc:.2f}")
+    if args.svf == "none":
+        return 0
+    config = base.with_svf(
+        mode=args.svf,
+        ports=args.ports,
+        capacity_bytes=args.capacity,
+        no_squash=args.no_squash,
+    )
+    run = simulate(trace, config)
+    speedup = run.speedup_over(baseline)
+    print(f"{args.svf:8s}: {run.cycles:,} cycles, IPC {run.ipc:.2f}, "
+          f"speedup {(speedup - 1) * 100:+.1f}%")
+    if args.svf == "svf":
+        print(f"  morphed {run.svf_fast_loads + run.svf_fast_stores:,} "
+              f"({run.svf_fast_fraction:.0%}), "
+              f"re-routed {run.svf_rerouted:,}, "
+              f"fills {run.svf_fills:,}, squashes {run.svf_squashes:,}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.emulator import run_program
+    from repro.lang import compile_program, compile_to_assembly
+
+    with open(args.source) as handle:
+        source = handle.read()
+    if args.emit == "asm":
+        print(compile_to_assembly(source))
+        return 0
+    machine, trace = run_program(
+        compile_program(source), max_instructions=args.max_instructions
+    )
+    print(f"{machine.instruction_count:,} instructions, "
+          f"halted={machine.halted}")
+    print(f"output: {machine.output}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    window = args.window
+    if args.name == "table1":
+        print(table1_workloads())
+    elif args.name == "table2":
+        print(table2_models())
+    elif args.name in ("fig1", "fig2", "fig3"):
+        result = characterize(max_instructions=window or 120_000)
+        render = {
+            "fig1": result.render_fig1,
+            "fig2": result.render_fig2,
+            "fig3": result.render_fig3,
+        }[args.name]
+        print(render())
+    elif args.name == "fig5":
+        print(fig5_ideal_morphing(max_instructions=window or 60_000).render())
+    elif args.name == "fig6":
+        print(fig6_progressive(max_instructions=window or 60_000).render())
+    elif args.name in ("fig7", "fig8"):
+        result = fig7_svf_vs_stack_cache(max_instructions=window or 60_000)
+        print(result.render() if args.name == "fig7"
+              else result.render_fig8())
+    elif args.name == "fig9":
+        print(fig9_svf_speedup(max_instructions=window or 60_000).render())
+    elif args.name == "table3":
+        print(table3_memory_traffic(max_instructions=window or 120_000)
+              .render())
+    elif args.name == "table4":
+        print(table4_context_switch(max_instructions=window or 120_000)
+              .render())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.runall import generate_report
+
+    benchmarks = args.benchmarks or None
+    if benchmarks:
+        benchmarks = [workload(name).name for name in benchmarks]
+    text = generate_report(
+        timing_window=args.timing_window,
+        functional_window=args.functional_window,
+        benchmarks=benchmarks,
+        progress=lambda message: print(f"[report] {message}"),
+    )
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.trace import TraceWriter
+
+    work = workload(args.workload, args.input)
+    with open(args.output, "wb") as stream:
+        writer = TraceWriter(stream)
+        work.run(
+            max_instructions=args.max_instructions, trace_sink=writer
+        )
+    print(f"wrote {writer.count:,} records to {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.trace import load_trace
+
+    trace = load_trace(args.trace_file)
+    base = table2_config(args.width)
+    baseline = simulate(trace, base)
+    print(f"{args.trace_file}: {len(trace):,} instructions")
+    print(f"baseline: {baseline.cycles:,} cycles, IPC {baseline.ipc:.2f}")
+    if args.svf != "none":
+        run = simulate(
+            trace, base.with_svf(mode=args.svf, ports=args.ports)
+        )
+        speedup = run.speedup_over(baseline)
+        print(f"{args.svf}: {run.cycles:,} cycles, "
+              f"speedup {(speedup - 1) * 100:+.1f}%")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "characterize": cmd_characterize,
+        "simulate": cmd_simulate,
+        "compile": cmd_compile,
+        "experiment": cmd_experiment,
+        "report": cmd_report,
+        "trace": cmd_trace,
+        "replay": cmd_replay,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

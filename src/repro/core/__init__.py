@@ -1,0 +1,21 @@
+"""The paper's contribution: SVF, stack-cache baseline, traffic models."""
+
+from repro.core.stack_cache import StackCache, StackCacheAccess
+from repro.core.svf import StackValueFile, SVFAccess
+from repro.core.traffic import (
+    TrafficResult,
+    TrafficSimulator,
+    simulate_traffic,
+    traffic_size_sweep,
+)
+
+__all__ = [
+    "SVFAccess",
+    "StackCache",
+    "StackCacheAccess",
+    "StackValueFile",
+    "TrafficResult",
+    "TrafficSimulator",
+    "simulate_traffic",
+    "traffic_size_sweep",
+]

@@ -1,0 +1,112 @@
+"""Decoupled stack cache baseline (Cho, Yew & Lee — paper Section 5.3).
+
+A direct-mapped, write-back, write-allocate cache dedicated to stack
+references, sitting beside the L1 and refilled from the L2.  It is the
+best-performing prior approach the paper compares the SVF against.
+
+The crucial contrast with the SVF (paper Section 5.3.2):
+
+1. **Allocations** — on a write miss the stack cache must fetch the
+   rest of the line before the write can complete, even though a newly
+   allocated stack frame is by definition uninitialized.
+2. **Dirty replacements** — when a line is evicted the whole line must
+   be written back if any word is dirty, even when the frame it held
+   has already been deallocated (dead data).
+
+Traffic is counted in quad-words, matching the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class StackCacheAccess:
+    """Outcome of one reference presented to the stack cache."""
+
+    hit: bool
+    #: quad-words read from the L2 (line fill)
+    filled: int = 0
+    #: quad-words written back to the L2 (dirty eviction)
+    written_back: int = 0
+
+
+class StackCache:
+    """Direct-mapped decoupled stack cache."""
+
+    def __init__(self, capacity_bytes: int = 8192, line_size: int = 32):
+        if capacity_bytes % line_size != 0 or capacity_bytes <= 0:
+            raise ValueError("capacity must be a positive multiple of line")
+        self.capacity = capacity_bytes
+        self.line_size = line_size
+        self.num_lines = capacity_bytes // line_size
+        self.line_words = line_size // 8
+        #: line index -> (tag, dirty)
+        self._lines: Dict[int, Tuple[int, bool]] = {}
+        # Traffic counters (quad-words between the stack cache and L2).
+        self.qw_in = 0
+        self.qw_out = 0
+        # Behaviour counters.
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.context_switches = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line_number = addr // self.line_size
+        return line_number % self.num_lines, line_number // self.num_lines
+
+    def access(self, addr: int, size: int, is_store: bool) -> StackCacheAccess:
+        """Present one stack reference; updates state and traffic.
+
+        Both read and write misses fill the whole line from the L2
+        (write-allocate): with only per-line state the cache cannot
+        know that a freshly allocated frame needs no fill.
+        """
+        index, tag = self._locate(addr)
+        entry = self._lines.get(index)
+        if entry is not None and entry[0] == tag:
+            self.hits += 1
+            if is_store and not entry[1]:
+                self._lines[index] = (tag, True)
+            return StackCacheAccess(hit=True)
+        self.misses += 1
+        written_back = 0
+        if entry is not None and entry[1]:
+            written_back = self.line_words
+            self.qw_out += written_back
+            self.writebacks += 1
+        self.qw_in += self.line_words
+        self._lines[index] = (tag, is_store)
+        return StackCacheAccess(
+            hit=False, filled=self.line_words, written_back=written_back
+        )
+
+    def context_switch(self) -> int:
+        """Flush for a context switch; returns bytes written back.
+
+        Every dirty line is written back *whole* — the stack cache has
+        per-line dirty bits, so one dirty word costs a full line of
+        writeback traffic (contrast with the SVF's per-word bits).
+        """
+        self.context_switches += 1
+        dirty_lines = sum(1 for _, dirty in self._lines.values() if dirty)
+        self._lines.clear()
+        self.qw_out += dirty_lines * self.line_words
+        return dirty_lines * self.line_size
+
+    @property
+    def valid_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def dirty_lines(self) -> int:
+        return sum(1 for _, dirty in self._lines.values() if dirty)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StackCache {self.capacity}B direct-mapped "
+            f"lines={self.valid_lines}/{self.num_lines}>"
+        )

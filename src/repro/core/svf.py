@@ -1,0 +1,237 @@
+"""The Stack Value File (paper Section 3) — the primary contribution.
+
+The SVF is a non-architected register file holding the quad-words of
+stack memory nearest the top of stack.  It is a circular buffer indexed
+by low-order address bits covering the single contiguous address window
+``[TOS, TOS + capacity)``; because the window is contiguous it needs no
+per-line tags, only a bounds check (plus one page tag per spanned page,
+which we track for area accounting only).
+
+Per-quad-word **valid** and **dirty** bits exploit stack semantics
+(Section 3.3):
+
+* growing the stack (``$sp`` decreases) exposes *uninitialized* words
+  at the bottom of the window — they are marked invalid and never read
+  from the cache (a conventional cache must fill the line on a write
+  miss);
+* shrinking the stack (``$sp`` increases) *kills* the words between
+  the old and new TOS — they are dropped without writeback, even when
+  dirty (a conventional cache must write the dirty line back);
+* words that slide off the *top* of the window while still live are
+  written back only if dirty, at 8-byte granularity.
+
+The class is a pure state machine: it counts quad-word traffic in/out
+(the paper's Table 3 metric) and reports hit/fill behaviour so the
+timing model in :mod:`repro.uarch.pipeline` can attach latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class SVFAccess:
+    """Outcome of one reference presented to the SVF."""
+
+    #: the address fell inside the covered window
+    in_range: bool
+    #: the word was valid (no demand fill needed)
+    hit: bool = False
+    #: quad-words read from the L1 to satisfy this access
+    filled: int = 0
+
+
+class StackValueFile:
+    """Circular-buffer stack value file with per-word valid/dirty bits.
+
+    ``granularity`` is the size in bytes tracked by one valid/dirty
+    bit pair.  The paper (Section 3.3) argues 64 bits (8 bytes, the
+    Alpha's natural data size) is the right choice and that coarser
+    granularity increases memory traffic — which the granularity
+    ablation benchmark demonstrates.
+    """
+
+    WORD = 8
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8192,
+        page_size: int = 4096,
+        granularity: int = 8,
+    ):
+        if granularity % self.WORD != 0 or granularity <= 0:
+            raise ValueError("granularity must be a positive multiple of 8")
+        if capacity_bytes % granularity != 0 or capacity_bytes <= 0:
+            raise ValueError(
+                "capacity must be a positive multiple of the granularity"
+            )
+        self.granularity = granularity
+        self.capacity = capacity_bytes
+        self.page_size = page_size
+        #: optional callable(addr) invoked for every granule written
+        #: back to the L1 (lets a timing model install the line there)
+        self.writeback_sink = None
+        #: current TOS; None until the first $sp value is observed
+        self.tos: Optional[int] = None
+        #: covered quad-word address -> dirty flag (absent = invalid)
+        self._words: Dict[int, bool] = {}
+        # Traffic counters (quad-words between the SVF and the L1).
+        self.qw_in = 0
+        self.qw_out = 0
+        # Behaviour counters.
+        self.hits = 0
+        self.fills = 0
+        self.out_of_range = 0
+        self.killed_words = 0
+        self.context_switches = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Number of 64-bit registers in the file."""
+        return self.capacity // self.WORD
+
+    @property
+    def num_page_tags(self) -> int:
+        """Page tags needed to cover the window (paper: 8 KB -> 3 tags)."""
+        return self.capacity // self.page_size + 1
+
+    def covers(self, addr: int) -> bool:
+        """Bounds check: is ``addr`` inside the covered window?"""
+        if self.tos is None:
+            return False
+        return self.tos <= addr < self.tos + self.capacity
+
+    # -- stack-pointer tracking ------------------------------------------------
+
+    def update_sp(self, new_sp: int) -> int:
+        """Slide the window to a new TOS; returns quad-words written back.
+
+        Growing (``new_sp < tos``): live words fall off the *top* of
+        the window — dirty ones are written back.  The newly exposed
+        words at the bottom are uninitialized and enter invalid.
+
+        Shrinking (``new_sp > tos``): words between old and new TOS are
+        dead — dropped with no writeback.  Words entering at the top
+        are live but unknown — they enter invalid and fill on demand.
+        """
+        if self.tos is None:
+            self.tos = new_sp
+            return 0
+        old = self.tos
+        if new_sp == old:
+            return 0
+        written = 0
+        if new_sp < old:
+            # Stack grows: window slides down; top range leaves coverage.
+            lo = max(new_sp + self.capacity, new_sp)
+            hi = old + self.capacity
+            written = self._evict_range(lo, hi, writeback=True)
+        else:
+            # Stack shrinks: words between old and new TOS die.
+            kill_hi = min(new_sp, old + self.capacity)
+            self._evict_range(old, kill_hi, writeback=False)
+        self.tos = new_sp
+        return written
+
+    def _evict_range(self, lo: int, hi: int, writeback: bool) -> int:
+        """Drop coverage of [lo, hi); returns quad-words written back.
+
+        Granules straddling the range edge are evicted whole — with
+        coarse granularity this is one source of the extra traffic the
+        paper warns about.
+        """
+        if hi <= lo:
+            return 0
+        granularity = self.granularity
+        words_per_granule = granularity // self.WORD
+        written = 0
+        span_granules = (hi - lo) // granularity + 2
+        if span_granules < len(self._words):
+            start = lo & ~(granularity - 1)
+            addresses = [
+                a
+                for a in range(start, hi, granularity)
+                if a in self._words
+            ]
+        else:
+            addresses = [a for a in self._words if lo - granularity < a < hi]
+        for addr in addresses:
+            dirty = self._words.pop(addr)
+            if writeback and dirty:
+                written += words_per_granule
+                if self.writeback_sink is not None:
+                    self.writeback_sink(addr)
+            elif not writeback:
+                self.killed_words += words_per_granule
+        self.qw_out += written
+        return written
+
+    # -- data access -----------------------------------------------------------
+
+    def access(self, addr: int, size: int, is_store: bool) -> SVFAccess:
+        """Present one stack reference; updates state and traffic."""
+        if not self.covers(addr):
+            self.out_of_range += 1
+            return SVFAccess(in_range=False)
+        granule = addr & ~(self.granularity - 1)
+        valid = granule in self._words
+        filled = 0
+        if is_store:
+            if not valid and size < self.granularity:
+                # Sub-granule store to an invalid granule: read-merge
+                # fill (never happens at the natural 8-byte/quad-word
+                # granularity for quad-word stores).
+                filled = self.granularity // self.WORD
+            self._words[granule] = True
+        else:
+            if not valid:
+                filled = self.granularity // self.WORD
+                self._words[granule] = False
+        self.qw_in += filled
+        if filled:
+            self.fills += 1
+            return SVFAccess(in_range=True, hit=False, filled=filled)
+        self.hits += 1
+        return SVFAccess(in_range=True, hit=True)
+
+    # -- context switches -------------------------------------------------------
+
+    def context_switch(self) -> int:
+        """Flush for a context switch; returns bytes written back.
+
+        Only valid *and* dirty words are written, at 64-bit granularity
+        — the paper's Table 4 metric.  All words are invalidated.
+        """
+        self.context_switches += 1
+        dirty = 0
+        for addr, is_dirty in self._words.items():
+            if is_dirty:
+                dirty += 1
+                if self.writeback_sink is not None:
+                    self.writeback_sink(addr)
+        self._words.clear()
+        self.qw_out += dirty * (self.granularity // self.WORD)
+        return dirty * self.granularity
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def valid_words(self) -> int:
+        return len(self._words) * (self.granularity // self.WORD)
+
+    @property
+    def dirty_words(self) -> int:
+        return sum(
+            1 for is_dirty in self._words.values() if is_dirty
+        ) * (self.granularity // self.WORD)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tos = f"0x{self.tos:x}" if self.tos is not None else "unset"
+        return (
+            f"<StackValueFile {self.capacity}B tos={tos} "
+            f"valid={self.valid_words} dirty={self.dirty_words}>"
+        )

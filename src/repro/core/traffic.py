@@ -1,0 +1,141 @@
+"""Functional memory-traffic simulation (paper Tables 3 and 4).
+
+Drives the SVF and the decoupled stack cache over the same dynamic
+instruction stream, without timing, and reports the quad-word traffic
+each scheme generates.  This is exactly the paper's Table 3 experiment:
+the stack cache moves whole lines on compulsory/capacity/conflict
+misses and dirty evictions, while the SVF only moves words that are
+demand-read or live-and-dirty.
+
+With ``context_switch_period`` set, both structures are additionally
+flushed every N instructions and the average writeback per switch is
+recorded (paper Table 4; the paper uses N = 400 000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.stack_cache import StackCache
+from repro.core.svf import StackValueFile
+from repro.trace.regions import is_stack_address
+
+
+@dataclass
+class TrafficResult:
+    """Quad-word traffic of both schemes over one trace."""
+
+    capacity_bytes: int
+    instructions: int = 0
+    stack_references: int = 0
+    svf_qw_in: int = 0
+    svf_qw_out: int = 0
+    stack_cache_qw_in: int = 0
+    stack_cache_qw_out: int = 0
+    # Context-switch accounting (Table 4).
+    context_switches: int = 0
+    svf_switch_bytes: int = 0
+    stack_cache_switch_bytes: int = 0
+
+    @property
+    def svf_switch_bytes_avg(self) -> float:
+        """Average bytes the SVF writes back per context switch."""
+        if self.context_switches == 0:
+            return 0.0
+        return self.svf_switch_bytes / self.context_switches
+
+    @property
+    def stack_cache_switch_bytes_avg(self) -> float:
+        """Average bytes the stack cache writes back per switch."""
+        if self.context_switches == 0:
+            return 0.0
+        return self.stack_cache_switch_bytes / self.context_switches
+
+
+class TrafficSimulator:
+    """Streaming traffic model; implements the trace-sink protocol."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8192,
+        line_size: int = 32,
+        context_switch_period: Optional[int] = None,
+    ):
+        self.svf = StackValueFile(capacity_bytes=capacity_bytes)
+        self.stack_cache = StackCache(
+            capacity_bytes=capacity_bytes, line_size=line_size
+        )
+        self.capacity_bytes = capacity_bytes
+        self.context_switch_period = context_switch_period
+        self._sp_seen = False
+        self._instructions = 0
+        self._stack_references = 0
+        self._switches = 0
+        self._svf_switch_bytes = 0
+        self._stack_cache_switch_bytes = 0
+
+    def append(self, record) -> None:
+        if not self._sp_seen:
+            self.svf.update_sp(record.sp_value)
+            self._sp_seen = True
+        self._instructions += 1
+        if record.is_load or record.is_store:
+            if is_stack_address(record.addr):
+                self._stack_references += 1
+                self.svf.access(record.addr, record.size, record.is_store)
+                self.stack_cache.access(
+                    record.addr, record.size, record.is_store
+                )
+        if record.sp_update:
+            self.svf.update_sp(record.sp_value)
+        period = self.context_switch_period
+        if period and self._instructions % period == 0:
+            self._switches += 1
+            self._svf_switch_bytes += self.svf.context_switch()
+            self._stack_cache_switch_bytes += (
+                self.stack_cache.context_switch()
+            )
+
+    def result(self) -> TrafficResult:
+        return TrafficResult(
+            capacity_bytes=self.capacity_bytes,
+            instructions=self._instructions,
+            stack_references=self._stack_references,
+            svf_qw_in=self.svf.qw_in,
+            svf_qw_out=self.svf.qw_out,
+            stack_cache_qw_in=self.stack_cache.qw_in,
+            stack_cache_qw_out=self.stack_cache.qw_out,
+            context_switches=self._switches,
+            svf_switch_bytes=self._svf_switch_bytes,
+            stack_cache_switch_bytes=self._stack_cache_switch_bytes,
+        )
+
+
+def simulate_traffic(
+    trace: Iterable,
+    capacity_bytes: int = 8192,
+    line_size: int = 32,
+    context_switch_period: Optional[int] = None,
+) -> TrafficResult:
+    """Run the Table 3/4 traffic comparison over a finished trace."""
+    simulator = TrafficSimulator(
+        capacity_bytes=capacity_bytes,
+        line_size=line_size,
+        context_switch_period=context_switch_period,
+    )
+    for record in trace:
+        simulator.append(record)
+    return simulator.result()
+
+
+def traffic_size_sweep(
+    trace: List,
+    sizes: Iterable[int] = (2048, 4096, 8192),
+    line_size: int = 32,
+) -> List[TrafficResult]:
+    """Table 3: traffic at several SVF / stack-cache sizes."""
+    return [
+        simulate_traffic(trace, capacity_bytes=size, line_size=line_size)
+        for size in sizes
+    ]

@@ -1,0 +1,23 @@
+"""Functional emulator producing dynamic instruction traces."""
+
+from repro.emulator.machine import EmulatorError, Machine, run_program
+from repro.emulator.memory import (
+    DATA_BASE,
+    HEAP_BASE,
+    Memory,
+    MemoryError_,
+    STACK_BASE,
+    TEXT_BASE,
+)
+
+__all__ = [
+    "DATA_BASE",
+    "EmulatorError",
+    "HEAP_BASE",
+    "Machine",
+    "Memory",
+    "MemoryError_",
+    "STACK_BASE",
+    "TEXT_BASE",
+    "run_program",
+]

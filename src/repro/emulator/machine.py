@@ -1,0 +1,292 @@
+"""Functional emulator for the Alpha-like ISA.
+
+Executes an assembled :class:`~repro.isa.instructions.Program` and, when
+given a trace sink, emits one :class:`~repro.trace.records.TraceRecord`
+per retired instruction.  The emulator is purely functional (no timing):
+the out-of-order timing model in :mod:`repro.uarch` replays the emitted
+stream, which carries full register- and memory-dependence information.
+
+Static instructions are pre-decoded once into flat tuples so the
+interpretation loop stays cheap even for million-instruction runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.emulator.memory import (
+    DATA_BASE,
+    Memory,
+    STACK_BASE,
+    TEXT_BASE,
+)
+from repro.isa.instructions import OpClass, Program
+from repro.isa.registers import RA, SP, ZERO
+from repro.trace.records import TraceRecord
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+class EmulatorError(Exception):
+    """Raised on runtime faults (bad jump, division by zero, ...)."""
+
+
+class Machine:
+    """Functional machine state plus the interpretation loop."""
+
+    def __init__(self, program: Program, stack_base: int = STACK_BASE):
+        self.program = program
+        self.memory = Memory()
+        self.registers: List[int] = [0] * 32
+        self.stack_base = stack_base
+        self.registers[SP] = stack_base
+        self.output: List[int] = []
+        self.instruction_count = 0
+        self.halted = False
+        self.memory.write_bytes(DATA_BASE, bytes(program.data))
+        self._decoded = [self._decode(instr) for instr in program.instructions]
+        self._pc_index = program.label_index(program.entry)
+        # Sentinel return address: returning here halts the machine.
+        self._halt_address = TEXT_BASE + 4 * len(program.instructions) + 4
+        self.registers[RA] = self._halt_address
+
+    @staticmethod
+    def _decode(instr):
+        return (
+            instr.op,
+            instr.op_class,
+            instr.source_registers(),
+            instr.destination_register(),
+            instr.rd,
+            instr.ra,
+            instr.rb,
+            instr.imm if instr.imm is not None else 0,
+            instr.target_index,
+            instr.spec.mem_size,
+            instr.is_conditional,
+        )
+
+    @property
+    def pc(self) -> int:
+        """Current program counter as a byte address."""
+        return TEXT_BASE + 4 * self._pc_index
+
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        trace_sink=None,
+    ) -> int:
+        """Run until ``halt`` or ``max_instructions``.
+
+        ``trace_sink`` is any object with ``append`` (e.g. a list, or a
+        streaming analysis).  Returns the number of instructions
+        retired.
+        """
+        registers = self.registers
+        memory = self.memory
+        decoded = self._decoded
+        text_base = TEXT_BASE
+        count = self.instruction_count
+        limit = max_instructions
+        emit = trace_sink.append if trace_sink is not None else None
+        pc_index = self._pc_index
+        num_instructions = len(decoded)
+
+        while not self.halted:
+            if limit is not None and count - self.instruction_count >= limit:
+                break
+            if not 0 <= pc_index < num_instructions:
+                raise EmulatorError(
+                    f"pc out of range: index {pc_index} "
+                    f"(0x{text_base + 4 * pc_index:x})"
+                )
+            (
+                op,
+                op_class,
+                srcs,
+                dst,
+                rd,
+                ra,
+                rb,
+                imm,
+                target_index,
+                mem_size,
+                is_conditional,
+            ) = decoded[pc_index]
+            pc = text_base + 4 * pc_index
+            next_index = pc_index + 1
+            addr = 0
+            taken = False
+            is_load = op_class is OpClass.LOAD
+            is_store = op_class is OpClass.STORE
+
+            if is_load:
+                addr = (registers[rb] + imm) & _MASK64
+                value = (
+                    memory.load(addr, 8)
+                    if mem_size == 8
+                    else memory.load_signed(addr, 4)
+                )
+                if rd != ZERO:
+                    registers[rd] = value
+            elif is_store:
+                addr = (registers[rb] + imm) & _MASK64
+                memory.store(addr, registers[rd], mem_size)
+            elif op == "lda":
+                if rd != ZERO:
+                    registers[rd] = (registers[rb] + imm) & _MASK64
+            elif op_class is OpClass.IALU or op_class is OpClass.IMULT:
+                left = registers[ra]
+                right = registers[rb] if rb is not None else imm & _MASK64
+                result = self._alu(op, left, right)
+                if rd != ZERO:
+                    registers[rd] = result
+            elif is_conditional:
+                value = _signed(registers[ra])
+                taken = (
+                    (op == "beq" and value == 0)
+                    or (op == "bne" and value != 0)
+                    or (op == "blt" and value < 0)
+                    or (op == "ble" and value <= 0)
+                    or (op == "bgt" and value > 0)
+                    or (op == "bge" and value >= 0)
+                )
+                if taken:
+                    next_index = target_index
+            elif op == "br":
+                taken = True
+                next_index = target_index
+            elif op == "bsr":
+                taken = True
+                registers[RA] = text_base + 4 * (pc_index + 1)
+                next_index = target_index
+            elif op == "jsr":
+                taken = True
+                destination = registers[rb]
+                registers[RA] = text_base + 4 * (pc_index + 1)
+                next_index = self._index_of(destination)
+            elif op == "ret" or op == "jmp":
+                taken = True
+                destination = registers[rb]
+                if destination == self._halt_address:
+                    self.halted = True
+                    next_index = pc_index
+                else:
+                    next_index = self._index_of(destination)
+            elif op == "print":
+                self.output.append(_signed(registers[ra]))
+            elif op == "halt":
+                self.halted = True
+                next_index = pc_index
+            elif op == "nop":
+                pass
+            else:  # pragma: no cover - opcode table is closed
+                raise EmulatorError(f"unimplemented opcode {op!r}")
+
+            if emit is not None:
+                sp_update = dst == SP
+                emit(
+                    TraceRecord(
+                        count,
+                        pc,
+                        op,
+                        op_class,
+                        srcs,
+                        dst,
+                        is_load=is_load,
+                        is_store=is_store,
+                        addr=addr,
+                        size=mem_size,
+                        base_reg=rb if (is_load or is_store) else None,
+                        displacement=imm,
+                        is_branch=op_class
+                        in (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN),
+                        is_conditional=is_conditional,
+                        taken=taken,
+                        next_pc=text_base + 4 * next_index,
+                        sp_value=registers[SP],
+                        sp_update=sp_update,
+                        sp_update_immediate=(
+                            imm if sp_update and op == "lda" and rb == SP else 0
+                        ),
+                    )
+                )
+            count += 1
+            pc_index = next_index
+
+        executed = count - self.instruction_count
+        self.instruction_count = count
+        self._pc_index = pc_index
+        return executed
+
+    def _index_of(self, address: int) -> int:
+        if address % 4 != 0 or address < TEXT_BASE:
+            raise EmulatorError(f"bad jump target 0x{address:x}")
+        return (address - TEXT_BASE) // 4
+
+    @staticmethod
+    def _alu(op: str, left: int, right: int) -> int:
+        if op == "addq":
+            return (left + right) & _MASK64
+        if op == "subq":
+            return (left - right) & _MASK64
+        if op == "mulq":
+            return (left * right) & _MASK64
+        if op == "divq" or op == "remq":
+            divisor = _signed(right)
+            if divisor == 0:
+                raise EmulatorError("integer division by zero")
+            dividend = _signed(left)
+            quotient = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            if op == "divq":
+                return quotient & _MASK64
+            return (dividend - quotient * divisor) & _MASK64
+        if op == "and":
+            return left & right
+        if op == "or":
+            return left | right
+        if op == "xor":
+            return left ^ right
+        if op == "bic":
+            return left & ~right & _MASK64
+        if op == "sll":
+            return (left << (right & 63)) & _MASK64
+        if op == "srl":
+            return (left & _MASK64) >> (right & 63)
+        if op == "sra":
+            return (_signed(left) >> (right & 63)) & _MASK64
+        if op == "cmpeq":
+            return 1 if left == right else 0
+        if op == "cmplt":
+            return 1 if _signed(left) < _signed(right) else 0
+        if op == "cmple":
+            return 1 if _signed(left) <= _signed(right) else 0
+        if op == "cmpult":
+            return 1 if left < right else 0
+        raise EmulatorError(f"unimplemented ALU op {op!r}")
+
+
+def run_program(
+    program: Program,
+    max_instructions: Optional[int] = None,
+    collect_trace: bool = True,
+):
+    """Run ``program`` to completion (or the instruction limit).
+
+    Returns ``(machine, trace)`` where ``trace`` is a list of
+    :class:`TraceRecord` (empty when ``collect_trace`` is False).
+    """
+    machine = Machine(program)
+    trace: List[TraceRecord] = []
+    machine.run(
+        max_instructions=max_instructions,
+        trace_sink=trace if collect_trace else None,
+    )
+    return machine, trace

@@ -1,0 +1,91 @@
+"""Flat 64-bit memory with the Alpha-style region layout.
+
+The paper (Section 2) describes the Compaq Alpha address-space layout:
+the stack grows down from a system-defined base towards address 0; the
+read-only data, text and global data regions sit in the middle range;
+and the heap grows up from just after the global data region.  The
+constants below reproduce that layout, and
+:class:`~repro.trace.regions.RegionMap` classifies addresses against it.
+
+Storage is a dictionary of aligned 64-bit words, which keeps sparse
+gigabyte-spans cheap while supporting the 4- and 8-byte accesses the
+ISA performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x1000_0000
+HEAP_BASE = 0x2000_0000
+STACK_BASE = 0x7FFF_F000
+
+_MASK64 = (1 << 64) - 1
+
+
+class MemoryError_(Exception):
+    """Raised on unaligned or otherwise invalid accesses."""
+
+
+class Memory:
+    """Sparse word-addressed memory."""
+
+    def __init__(self):
+        self._words: Dict[int, int] = {}
+
+    def load(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes (4 or 8) at ``addr``, zero-extended."""
+        self._check(addr, size)
+        word = self._words.get(addr & ~7, 0)
+        if size == 8:
+            return word
+        shift = (addr & 7) * 8
+        return (word >> shift) & 0xFFFFFFFF
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        """Write the low ``size`` bytes (4 or 8) of ``value`` at ``addr``."""
+        self._check(addr, size)
+        base = addr & ~7
+        if size == 8:
+            self._words[base] = value & _MASK64
+            return
+        shift = (addr & 7) * 8
+        mask = 0xFFFFFFFF << shift
+        old = self._words.get(base, 0)
+        self._words[base] = (old & ~mask) | ((value & 0xFFFFFFFF) << shift)
+
+    def load_signed(self, addr: int, size: int) -> int:
+        """Read with sign extension to 64 bits."""
+        value = self.load(addr, size)
+        bits = size * 8
+        if value & (1 << (bits - 1)):
+            value -= 1 << bits
+        return value & _MASK64
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Bulk-initialize memory (used to place the .data segment)."""
+        for offset, byte in enumerate(data):
+            position = addr + offset
+            base = position & ~7
+            shift = (position & 7) * 8
+            old = self._words.get(base, 0)
+            self._words[base] = (old & ~(0xFF << shift)) | (byte << shift)
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        """Bulk read (used by tests)."""
+        out = bytearray()
+        for offset in range(count):
+            position = addr + offset
+            word = self._words.get(position & ~7, 0)
+            out.append((word >> ((position & 7) * 8)) & 0xFF)
+        return bytes(out)
+
+    @staticmethod
+    def _check(addr: int, size: int) -> None:
+        if size not in (4, 8):
+            raise MemoryError_(f"unsupported access size {size}")
+        if addr % size != 0:
+            raise MemoryError_(f"unaligned {size}-byte access at 0x{addr:x}")
+        if addr < 0:
+            raise MemoryError_(f"negative address 0x{addr:x}")

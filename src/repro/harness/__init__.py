@@ -1,0 +1,49 @@
+"""Experiment harness: one driver per paper table/figure."""
+
+from repro.harness.experiments import (
+    CharacterizationResult,
+    DEFAULT_FUNCTIONAL_WINDOW,
+    DEFAULT_TIMING_WINDOW,
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Fig9Result,
+    Table3Result,
+    Table4Result,
+    characterize,
+    fig5_ideal_morphing,
+    fig6_progressive,
+    fig7_svf_vs_stack_cache,
+    fig9_svf_speedup,
+    table1_workloads,
+    table2_models,
+    table3_memory_traffic,
+    table4_context_switch,
+)
+from repro.harness.report import percent, render_series, render_table
+from repro.harness.runall import generate_report
+
+__all__ = [
+    "CharacterizationResult",
+    "DEFAULT_FUNCTIONAL_WINDOW",
+    "DEFAULT_TIMING_WINDOW",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig9Result",
+    "Table3Result",
+    "Table4Result",
+    "characterize",
+    "fig5_ideal_morphing",
+    "fig6_progressive",
+    "fig7_svf_vs_stack_cache",
+    "fig9_svf_speedup",
+    "generate_report",
+    "percent",
+    "render_series",
+    "render_table",
+    "table1_workloads",
+    "table2_models",
+    "table3_memory_traffic",
+    "table4_context_switch",
+]

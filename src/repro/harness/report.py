@@ -1,0 +1,63 @@
+"""ASCII rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render a simple aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, values: Sequence[float], width: int = 60, height_hint: str = ""
+) -> str:
+    """Render a numeric series as a one-line sparkline-ish bar string."""
+    if not values:
+        return f"{name}: (empty)"
+    blocks = " .:-=+*#%@"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1
+    sampled = values
+    if len(values) > width:
+        step = len(values) / width
+        sampled = [values[int(i * step)] for i in range(width)]
+    chars = "".join(
+        blocks[min(len(blocks) - 1, int((v - low) / span * (len(blocks) - 1)))]
+        for v in sampled
+    )
+    suffix = f" [{low:g}..{high:g}]{height_hint}"
+    return f"{name}: {chars}{suffix}"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a signed percent string (1.29 -> '+29.0%')."""
+    return f"{(value - 1.0) * 100:+.1f}%"

@@ -1,0 +1,74 @@
+"""Alpha-like 64-bit RISC instruction set architecture.
+
+This package provides the ISA substrate for the SVF reproduction: the
+register conventions (``$sp``/``$fp``/``$gpr`` access paths that the
+paper's Figure 1 classifies), the instruction set, and a two-pass
+assembler producing :class:`~repro.isa.instructions.Program` objects
+that the functional emulator executes.
+"""
+
+from repro.isa.assembler import Assembler, AssemblerError, assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+    is_sp_relative_memory,
+)
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    Instruction,
+    InstructionError,
+    OPCODES,
+    OpClass,
+    OpSpec,
+    Program,
+)
+from repro.isa.registers import (
+    ARG_REGISTERS,
+    FP,
+    GP,
+    NUM_REGISTERS,
+    RA,
+    RegisterError,
+    SAVED_REGISTERS,
+    SP,
+    TEMP_REGISTERS,
+    V0,
+    ZERO,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "ARG_REGISTERS",
+    "Assembler",
+    "AssemblerError",
+    "CONDITIONAL_BRANCHES",
+    "EncodingError",
+    "FP",
+    "GP",
+    "Instruction",
+    "InstructionError",
+    "NUM_REGISTERS",
+    "OPCODES",
+    "OpClass",
+    "OpSpec",
+    "Program",
+    "RA",
+    "RegisterError",
+    "SAVED_REGISTERS",
+    "SP",
+    "TEMP_REGISTERS",
+    "V0",
+    "ZERO",
+    "assemble",
+    "decode",
+    "decode_program",
+    "encode",
+    "encode_program",
+    "is_sp_relative_memory",
+    "parse_register",
+    "register_name",
+]

@@ -1,0 +1,265 @@
+"""Two-pass textual assembler for the Alpha-like ISA.
+
+Syntax example::
+
+    .data
+    table:  .quad 1, 2, 3
+    buf:    .space 64
+
+    .text
+    main:
+        lda   sp, -32(sp)
+        stq   ra, 0(sp)
+        lda   a0, table
+        bsr   helper
+        ldq   ra, 0(sp)
+        lda   sp, 32(sp)
+        halt
+
+Directives: ``.text``, ``.data``, ``.quad v[, v...]``, ``.space n``.
+Labels end with ``:`` and may share a line with an instruction or
+directive.  ``lda rd, symbol`` loads the absolute address of a data
+symbol (assembled as ``lda rd, addr(zero)``).  Comments start with
+``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    Instruction,
+    InstructionError,
+    OPCODES,
+    OpClass,
+    Program,
+)
+from repro.isa.registers import RA, RegisterError, ZERO, parse_register
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\(([$\w]+)\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised on any assembly syntax or semantic error."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(text: str, line_number: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer {text!r}", line_number) from exc
+
+
+class Assembler:
+    """Assemble textual source into a :class:`Program`."""
+
+    def __init__(self, text_base: int = 0x1000, data_base: int = 0x10000000):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str, entry: str = "main") -> Program:
+        """Assemble ``source`` and return a linked :class:`Program`."""
+        program = Program(entry=entry)
+        section = ".text"
+        pending_fixups: List[Tuple[int, str, int]] = []
+
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line)
+            if not line:
+                continue
+            line, section = self._consume_labels(
+                line, section, program, line_number
+            )
+            if not line:
+                continue
+            if line.startswith("."):
+                section = self._directive(line, section, program, line_number)
+                continue
+            if section != ".text":
+                raise AssemblerError(
+                    f"instruction outside .text: {line!r}", line_number
+                )
+            instruction = self._parse_instruction(line, program, line_number)
+            if instruction.target is not None:
+                pending_fixups.append(
+                    (len(program.instructions), instruction.target, line_number)
+                )
+            program.instructions.append(instruction)
+
+        for index, label, line_number in pending_fixups:
+            if label not in program.labels:
+                raise AssemblerError(
+                    f"undefined label {label!r}", line_number
+                )
+            program.instructions[index].target_index = program.labels[label]
+
+        if entry not in program.labels:
+            raise AssemblerError(f"missing entry label {entry!r}")
+        return program
+
+    def _consume_labels(self, line, section, program, line_number):
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+            if not match:
+                return line, section
+            label, rest = match.group(1), match.group(2)
+            if section == ".text":
+                if label in program.labels:
+                    raise AssemblerError(
+                        f"duplicate label {label!r}", line_number
+                    )
+                program.labels[label] = len(program.instructions)
+            else:
+                if label in program.symbols:
+                    raise AssemblerError(
+                        f"duplicate symbol {label!r}", line_number
+                    )
+                program.symbols[label] = self.data_base + len(program.data)
+            line = rest.strip()
+            if not line:
+                return "", section
+
+    def _directive(self, line, section, program, line_number):
+        parts = line.split(None, 1)
+        name = parts[0]
+        argument = parts[1] if len(parts) > 1 else ""
+        if name in (".text", ".data"):
+            return name
+        if name == ".quad":
+            if section != ".data":
+                raise AssemblerError(".quad outside .data", line_number)
+            for chunk in argument.split(","):
+                value = _parse_int(chunk.strip(), line_number)
+                program.data.extend(
+                    struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF)
+                )
+            return section
+        if name == ".space":
+            if section != ".data":
+                raise AssemblerError(".space outside .data", line_number)
+            size = _parse_int(argument.strip(), line_number)
+            if size < 0:
+                raise AssemblerError("negative .space size", line_number)
+            program.data.extend(b"\x00" * size)
+            return section
+        raise AssemblerError(f"unknown directive {name!r}", line_number)
+
+    def _parse_instruction(self, line, program, line_number) -> Instruction:
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        operands = (
+            [chunk.strip() for chunk in parts[1].split(",")]
+            if len(parts) > 1
+            else []
+        )
+        if op not in OPCODES:
+            raise AssemblerError(f"unknown opcode {op!r}", line_number)
+        spec = OPCODES[op]
+        try:
+            return self._build(op, spec, operands, program, line_number)
+        except (RegisterError, InstructionError) as exc:
+            raise AssemblerError(str(exc), line_number) from exc
+
+    def _build(self, op, spec, operands, program, line_number) -> Instruction:
+        if spec.mem_size > 0 or op == "lda":
+            return self._build_memory_format(op, operands, program, line_number)
+        if spec.op_class in (OpClass.IALU, OpClass.IMULT):
+            return self._build_alu(op, operands, line_number)
+        if op in CONDITIONAL_BRANCHES:
+            self._expect_operands(op, operands, 2, line_number)
+            return Instruction(
+                op, ra=parse_register(operands[0]), target=operands[1]
+            )
+        if op == "br":
+            self._expect_operands(op, operands, 1, line_number)
+            return Instruction(op, target=operands[0])
+        if op == "bsr":
+            self._expect_operands(op, operands, 1, line_number)
+            return Instruction(op, rd=RA, target=operands[0])
+        if op in ("jsr", "jmp"):
+            self._expect_operands(op, operands, 1, line_number)
+            rd = RA if op == "jsr" else None
+            return Instruction(op, rd=rd, rb=parse_register(operands[0]))
+        if op == "ret":
+            if len(operands) > 1:
+                raise AssemblerError("ret takes at most one operand", line_number)
+            rb = parse_register(operands[0]) if operands else RA
+            return Instruction(op, rb=rb)
+        if op == "print":
+            self._expect_operands(op, operands, 1, line_number)
+            return Instruction(op, ra=parse_register(operands[0]))
+        if op in ("halt", "nop"):
+            self._expect_operands(op, operands, 0, line_number)
+            return Instruction(op)
+        raise AssemblerError(f"unhandled opcode {op!r}", line_number)
+
+    def _build_memory_format(self, op, operands, program, line_number):
+        self._expect_operands(op, operands, 2, line_number)
+        rd = parse_register(operands[0])
+        operand = operands[1]
+        match = _MEM_OPERAND.match(operand.replace(" ", ""))
+        if match:
+            displacement_text, base_text = match.group(1), match.group(2)
+            base = parse_register(base_text)
+            if re.fullmatch(r"-?(0x[0-9a-fA-F]+|\d+)", displacement_text):
+                displacement = _parse_int(displacement_text, line_number)
+            elif displacement_text in program.symbols:
+                displacement = program.symbols[displacement_text]
+            else:
+                raise AssemblerError(
+                    f"bad displacement {displacement_text!r}", line_number
+                )
+            return Instruction(op, rd=rd, rb=base, imm=displacement)
+        # "lda rd, symbol" / "lda rd, 123" absolute forms.
+        if op == "lda":
+            if operand in program.symbols:
+                return Instruction(
+                    op, rd=rd, rb=ZERO, imm=program.symbols[operand]
+                )
+            if re.fullmatch(r"-?(0x[0-9a-fA-F]+|\d+)", operand):
+                return Instruction(
+                    op, rd=rd, rb=ZERO, imm=_parse_int(operand, line_number)
+                )
+        raise AssemblerError(f"bad memory operand {operand!r}", line_number)
+
+    def _build_alu(self, op, operands, line_number) -> Instruction:
+        self._expect_operands(op, operands, 3, line_number)
+        ra = parse_register(operands[0])
+        rd = parse_register(operands[2])
+        second = operands[1]
+        try:
+            rb = parse_register(second)
+            return Instruction(op, ra=ra, rb=rb, rd=rd)
+        except RegisterError:
+            imm = _parse_int(second, line_number)
+            return Instruction(op, ra=ra, imm=imm, rd=rd)
+
+    @staticmethod
+    def _expect_operands(op, operands, count, line_number):
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{op} expects {count} operand(s), got {len(operands)}",
+                line_number,
+            )
+
+
+def assemble(source: str, entry: str = "main") -> Program:
+    """Convenience wrapper: assemble ``source`` with default bases."""
+    return Assembler().assemble(source, entry=entry)

@@ -1,0 +1,255 @@
+"""Binary encoding of the Alpha-like ISA (32-bit fixed-width words).
+
+The emulator interprets pre-decoded instruction objects, but a binary
+format matters for two reasons: it defines the pre-decode bits the
+SVF's front-end relies on (Section 3.1 — "an extended pre-decode
+circuit in the fetch stage is used to identify stack-pointer based
+memory references and to determine their immediate offset values"),
+and it pins down instruction addresses (4 bytes each) for the text
+segment.
+
+Format (loosely Alpha-flavoured)::
+
+    31        26 25   21 20   16 15                    0
+    +-----------+-------+-------+-----------------------+
+    |   opcode  |  rd   |  rb   |  displacement (s16)   |   memory / lda
+    +-----------+-------+-------+-----------------------+
+    |   opcode  |  rd   |  ra   | 1 |   literal (s10) |x|   ALU literal
+    |   opcode  |  rd   |  ra   | 0 | 0...0 |   rb      |   ALU register
+    +-----------+-------+-------+-----------------------+
+    |   opcode  |  ra   |     branch displacement (s21)  |  branches
+    +-----------+-------+--------------------------------+
+
+Displacements that do not fit the field raise :class:`EncodingError`
+(the assembler's textual pipeline remains the general path; encoding
+is exact for everything the MiniC compiler emits except absolute
+``lda`` constants, which use the 64-bit extended form below).
+
+An *extended* form encodes a 64-bit immediate in a second and third
+word (a simulator convenience standing in for Alpha's ``ldah``
+sequences); :func:`encode_program` and :func:`decode_program` round-
+trip every program the toolchain produces.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    Instruction,
+    OPCODES,
+    OpClass,
+)
+from repro.isa.registers import RA
+
+#: stable opcode numbering (order of the OPCODES table)
+OPCODE_NUMBERS = {name: i + 1 for i, name in enumerate(OPCODES)}
+OPCODE_NAMES = {number: name for name, number in OPCODE_NUMBERS.items()}
+
+#: marker opcode for the extended (64-bit immediate) form
+EXTENDED_OPCODE = 0x3F
+
+_DISP_MIN, _DISP_MAX = -(1 << 15), (1 << 15) - 1
+_LIT_MIN, _LIT_MAX = -(1 << 9), (1 << 9) - 1
+_BR_MIN, _BR_MAX = -(1 << 20), (1 << 20) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an operand does not fit its encoding field."""
+
+
+def _opcode_of(instr: Instruction) -> int:
+    return OPCODE_NUMBERS[instr.op]
+
+
+def encode(instr: Instruction) -> List[int]:
+    """Encode one instruction into one or more 32-bit words.
+
+    Branch targets are encoded as absolute instruction indices from
+    ``instr.target_index``, so encode after label resolution.
+    """
+    opcode = _opcode_of(instr)
+    spec = instr.spec
+
+    if spec.mem_size > 0 or instr.op == "lda":
+        displacement = instr.imm or 0
+        if not _DISP_MIN <= displacement <= _DISP_MAX:
+            return _encode_extended(instr)
+        return [
+            (opcode << 26)
+            | ((instr.rd & 31) << 21)
+            | ((instr.rb & 31) << 16)
+            | (displacement & 0xFFFF)
+        ]
+
+    if spec.op_class in (OpClass.IALU, OpClass.IMULT):
+        if instr.rb is not None:
+            return [
+                (opcode << 26)
+                | ((instr.rd & 31) << 21)
+                | ((instr.ra & 31) << 16)
+                | (instr.rb & 31)
+            ]
+        literal = instr.imm or 0
+        if not _LIT_MIN <= literal <= _LIT_MAX:
+            return _encode_extended(instr)
+        return [
+            (opcode << 26)
+            | ((instr.rd & 31) << 21)
+            | ((instr.ra & 31) << 16)
+            | (1 << 15)
+            | ((literal & 0x3FF) << 1)
+        ]
+
+    if instr.op in CONDITIONAL_BRANCHES or instr.op in ("br", "bsr"):
+        reg = instr.ra if instr.op in CONDITIONAL_BRANCHES else (instr.rd or 0)
+        displacement = instr.target_index or 0
+        if not _BR_MIN <= displacement <= _BR_MAX:
+            raise EncodingError(f"branch target too far: {displacement}")
+        return [
+            (opcode << 26)
+            | ((reg & 31) << 21)
+            | (displacement & 0x1FFFFF)
+        ]
+
+    if instr.op in ("jsr", "jmp", "ret"):
+        return [
+            (opcode << 26)
+            | (((instr.rd if instr.rd is not None else 0) & 31) << 21)
+            | (((instr.rb if instr.rb is not None else 0) & 31) << 16)
+        ]
+
+    if instr.op == "print":
+        return [(opcode << 26) | ((instr.ra & 31) << 21)]
+
+    # halt / nop
+    return [opcode << 26]
+
+
+def _encode_extended(instr: Instruction) -> List[int]:
+    """Three-word form: header + 64-bit immediate."""
+    opcode = _opcode_of(instr)
+    header = (
+        (EXTENDED_OPCODE << 26)
+        | (opcode << 16)
+        | (((instr.rd if instr.rd is not None else 0) & 31) << 11)
+        | (((instr.rb if instr.rb is not None else instr.ra or 0) & 31) << 6)
+    )
+    immediate = (instr.imm or 0) & 0xFFFFFFFFFFFFFFFF
+    return [header, immediate & 0xFFFFFFFF, immediate >> 32]
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def decode(words: List[int], position: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction at ``position``; returns (instr, words used)."""
+    word = words[position]
+    opcode = word >> 26
+
+    if opcode == EXTENDED_OPCODE:
+        real_opcode = (word >> 16) & 0x3FF
+        name = OPCODE_NAMES.get(real_opcode)
+        if name is None:
+            raise EncodingError(f"bad extended opcode {real_opcode}")
+        rd = (word >> 11) & 31
+        rb = (word >> 6) & 31
+        immediate = words[position + 1] | (words[position + 2] << 32)
+        if immediate & (1 << 63):
+            immediate -= 1 << 64
+        spec = OPCODES[name]
+        if spec.mem_size > 0 or name == "lda":
+            return Instruction(name, rd=rd, rb=rb, imm=immediate), 3
+        return Instruction(name, ra=rb, imm=immediate, rd=rd), 3
+
+    name = OPCODE_NAMES.get(opcode)
+    if name is None:
+        raise EncodingError(f"bad opcode {opcode}")
+    spec = OPCODES[name]
+
+    if spec.mem_size > 0 or name == "lda":
+        rd = (word >> 21) & 31
+        rb = (word >> 16) & 31
+        displacement = _sign_extend(word & 0xFFFF, 16)
+        return Instruction(name, rd=rd, rb=rb, imm=displacement), 1
+
+    if spec.op_class in (OpClass.IALU, OpClass.IMULT):
+        rd = (word >> 21) & 31
+        ra = (word >> 16) & 31
+        if word & (1 << 15):
+            literal = _sign_extend((word >> 1) & 0x3FF, 10)
+            return Instruction(name, ra=ra, imm=literal, rd=rd), 1
+        return Instruction(name, ra=ra, rb=word & 31, rd=rd), 1
+
+    if name in CONDITIONAL_BRANCHES:
+        ra = (word >> 21) & 31
+        target = _sign_extend(word & 0x1FFFFF, 21)
+        instr = Instruction(name, ra=ra, target="?")
+        instr.target_index = target
+        return instr, 1
+
+    if name in ("br", "bsr"):
+        reg = (word >> 21) & 31
+        target = _sign_extend(word & 0x1FFFFF, 21)
+        instr = Instruction(
+            name, rd=(RA if name == "bsr" else None), target="?"
+        )
+        instr.target_index = target
+        return instr, 1
+
+    if name in ("jsr", "jmp", "ret"):
+        rd = (word >> 21) & 31
+        rb = (word >> 16) & 31
+        return Instruction(
+            name,
+            rd=(rd if name == "jsr" else None),
+            rb=rb if rb != 0 or name != "ret" else RA,
+        ), 1
+
+    if name == "print":
+        return Instruction(name, ra=(word >> 21) & 31), 1
+
+    return Instruction(name), 1
+
+
+def is_sp_relative_memory(word: int) -> bool:
+    """The SVF's pre-decode check (Section 3.1), straight off the bits.
+
+    True if the word is a load/store whose base register is ``$sp`` —
+    the references the front-end diverts to the SVF without waiting
+    for decode.
+    """
+    opcode = word >> 26
+    name = OPCODE_NAMES.get(opcode)
+    if name is None:
+        return False
+    spec = OPCODES[name]
+    if spec.mem_size == 0:
+        return False
+    return (word >> 16) & 31 == 30  # $sp
+
+
+def encode_program(instructions: List[Instruction]) -> bytes:
+    """Encode an instruction list to little-endian bytes."""
+    words: List[int] = []
+    for instr in instructions:
+        words.extend(encode(instr))
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def decode_program(blob: bytes) -> List[Instruction]:
+    """Decode bytes produced by :func:`encode_program`."""
+    count = len(blob) // 4
+    words = list(struct.unpack(f"<{count}I", blob))
+    out: List[Instruction] = []
+    position = 0
+    while position < len(words):
+        instr, used = decode(words, position)
+        out.append(instr)
+        position += used
+    return out

@@ -1,0 +1,87 @@
+"""Register file conventions for the Alpha-like ISA.
+
+The paper targets the Compaq Alpha, a 64-bit RISC architecture with 32
+integer registers.  The conventions that matter for the Stack Value File
+are reproduced here:
+
+* ``$sp`` (r30) — stack pointer; the stack grows *down* from a
+  system-defined base address towards 0.  ``$sp``-relative addressing is
+  the access method the SVF morphs into register moves.
+* ``$fp`` (r15) — frame pointer; an alternative way to address the stack
+  that must be *re-routed* into the SVF after address calculation.
+* ``$ra`` (r26) — return address register, written by ``bsr``/``jsr``.
+* ``$zero`` (r31) — hardwired zero.
+
+Any other register used as a base for a stack access is a ``$gpr``
+access in the paper's taxonomy (Figure 1).
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+# Alpha software conventions (OSF/1 calling standard).
+ZERO = 31
+SP = 30
+GP = 29
+RA = 26
+FP = 15
+
+#: Return-value register.
+V0 = 0
+#: Argument registers a0..a5 (r16..r21).
+ARG_REGISTERS = (16, 17, 18, 19, 20, 21)
+#: Caller-saved temporaries usable by expression evaluation.
+TEMP_REGISTERS = (1, 2, 3, 4, 5, 6, 7, 8, 22, 23, 24, 25, 27, 28)
+#: Callee-saved registers (s0..s5 = r9..r14).
+SAVED_REGISTERS = (9, 10, 11, 12, 13, 14)
+
+_ALIASES = {
+    "zero": ZERO,
+    "sp": SP,
+    "gp": GP,
+    "ra": RA,
+    "fp": FP,
+    "v0": V0,
+}
+_ALIASES.update({f"a{i}": reg for i, reg in enumerate(ARG_REGISTERS)})
+_ALIASES.update({f"s{i}": reg for i, reg in enumerate(SAVED_REGISTERS)})
+
+# Canonical display names: specials plus a/s conventions.  Temporaries
+# render as plain architectural names (r1, r2, ...) but still parse
+# via their t-aliases below.
+_CANONICAL = {reg: name for name, reg in _ALIASES.items()}
+
+_ALIASES.update({f"t{i}": reg for i, reg in enumerate(TEMP_REGISTERS)})
+
+
+class RegisterError(ValueError):
+    """Raised when a register name or number is invalid."""
+
+
+def parse_register(text: str) -> int:
+    """Parse a register operand such as ``r12``, ``$sp`` or ``fp``.
+
+    Returns the register number (0..31).  Raises :class:`RegisterError`
+    for anything else.
+    """
+    name = text.strip().lower()
+    if name.startswith("$"):
+        name = name[1:]
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r"):
+        try:
+            number = int(name[1:])
+        except ValueError as exc:
+            raise RegisterError(f"bad register {text!r}") from exc
+        if 0 <= number < NUM_REGISTERS:
+            return number
+    raise RegisterError(f"bad register {text!r}")
+
+
+def register_name(number: int) -> str:
+    """Return the canonical display name for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise RegisterError(f"bad register number {number}")
+    return _CANONICAL.get(number, f"r{number}")

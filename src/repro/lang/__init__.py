@@ -1,0 +1,40 @@
+"""MiniC: the workload-definition language and its compiler."""
+
+from repro.lang.codegen import (
+    CodegenError,
+    CodegenOptions,
+    CodeGenerator,
+    compile_program,
+    compile_to_assembly,
+)
+from repro.lang.interpreter import Interpreter, InterpreterError, interpret
+from repro.lang.lexer import LexerError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.semantics import (
+    BUILTINS,
+    FunctionInfo,
+    SemanticError,
+    Symbol,
+    analyze,
+)
+
+__all__ = [
+    "BUILTINS",
+    "CodeGenerator",
+    "CodegenError",
+    "CodegenOptions",
+    "FunctionInfo",
+    "Interpreter",
+    "InterpreterError",
+    "LexerError",
+    "ParseError",
+    "SemanticError",
+    "Symbol",
+    "Token",
+    "analyze",
+    "compile_program",
+    "compile_to_assembly",
+    "interpret",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,352 @@
+"""Reference interpreter for MiniC (AST-walking, no compilation).
+
+Exists for differential testing: the compiled path (codegen →
+assembler → emulator) and this interpreter must produce identical
+``print`` output for any program.  The tests run both on random and
+hand-written programs; any divergence is a compiler or emulator bug.
+
+Semantics mirror the target machine exactly: 64-bit two's-complement
+wraparound arithmetic, C-style truncating division, arithmetic right
+shift, and a flat memory in which pointers are plain integers.
+Variables, array elements and heap cells all live in one address
+space, so address-of/pointer code behaves byte-for-byte like the
+compiled version (stack addresses are synthetic but consistent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.semantics import analyze
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+class InterpreterError(Exception):
+    """Raised on runtime faults (division by zero, step limit, ...)."""
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class Interpreter:
+    """Evaluate a MiniC translation unit directly."""
+
+    #: synthetic address-space bases, mirroring the emulator's layout
+    GLOBAL_BASE = 0x1000_0000
+    HEAP_BASE = 0x2000_0000
+    STACK_BASE = 0x7FFF_F000
+
+    def __init__(self, unit: ast.TranslationUnit, max_steps: int = 10_000_000):
+        self.unit = unit
+        self.analyzer = analyze(unit)
+        self.functions = {f.name: f for f in unit.functions}
+        self.memory: Dict[int, int] = {}
+        self.output: List[int] = []
+        self.max_steps = max_steps
+        self.steps = 0
+        self._heap_cursor = self.HEAP_BASE
+        self._stack_cursor = self.STACK_BASE
+        #: global name -> base address
+        self.global_addresses: Dict[str, int] = {}
+        cursor = self.GLOBAL_BASE
+        for global_var in unit.globals:
+            self.global_addresses[global_var.name] = cursor
+            size = global_var.array_size or 1
+            values = list(global_var.initializer[:size])
+            values.extend([0] * (size - len(values)))
+            for index, value in enumerate(values):
+                self.memory[cursor + 8 * index] = value & _MASK64
+            cursor += 8 * size
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Execute ``main``; returns its value."""
+        return self.call("main", [])
+
+    def call(self, name: str, arguments: List[int]) -> int:
+        function = self.functions[name]
+        frame_size = 8 * (len(function.info.params) + sum(  # type: ignore
+            symbol.array_size if symbol.is_array else 1
+            for symbol in function.info.locals  # type: ignore
+        ) + 4)
+        self._stack_cursor -= frame_size
+        frame_base = self._stack_cursor
+        env: Dict[int, int] = {}
+        cursor = frame_base
+        for symbol, value in zip(function.info.params, arguments):  # type: ignore
+            env[symbol.uid] = cursor
+            self.memory[cursor] = value & _MASK64
+            cursor += 8
+        for symbol in function.info.locals:  # type: ignore
+            env[symbol.uid] = cursor
+            cursor += 8 * (symbol.array_size if symbol.is_array else 1)
+        try:
+            self._exec_block(function.body, env)
+            result = 0
+        except _Return as ret:
+            result = ret.value
+        finally:
+            self._stack_cursor += frame_size
+        return result
+
+    def _tick(self, line: int = 0) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpreterError(f"step limit exceeded near line {line}")
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec_block(self, body, env) -> None:
+        for statement in body:
+            self._exec(statement, env)
+
+    def _exec(self, statement, env) -> None:
+        self._tick(statement.line)
+        if isinstance(statement, ast.Declaration):
+            if statement.initializer is not None:
+                symbol = statement.symbol  # type: ignore[attr-defined]
+                value = self._eval(statement.initializer, env)
+                self.memory[env[symbol.uid]] = value & _MASK64
+        elif isinstance(statement, ast.Assign):
+            address = self._lvalue_address(statement.target, env)
+            value = self._eval(statement.value, env)
+            self.memory[address] = value & _MASK64
+        elif isinstance(statement, ast.ExprStmt):
+            if statement.expr is not None:
+                self._eval(statement.expr, env)
+        elif isinstance(statement, ast.If):
+            if _signed(self._eval(statement.condition, env)) != 0:
+                self._exec_block(statement.then_body, env)
+            else:
+                self._exec_block(statement.else_body, env)
+        elif isinstance(statement, ast.While):
+            while _signed(self._eval(statement.condition, env)) != 0:
+                self._tick(statement.line)
+                try:
+                    self._exec_block(statement.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._exec(statement.init, env)
+            while (
+                statement.condition is None
+                or _signed(self._eval(statement.condition, env)) != 0
+            ):
+                self._tick(statement.line)
+                try:
+                    self._exec_block(statement.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if statement.step is not None:
+                    self._exec(statement.step, env)
+        elif isinstance(statement, ast.Return):
+            value = (
+                self._eval(statement.value, env)
+                if statement.value is not None
+                else 0
+            )
+            raise _Return(value)
+        elif isinstance(statement, ast.Break):
+            raise _Break()
+        elif isinstance(statement, ast.Continue):
+            raise _Continue()
+        else:  # pragma: no cover - statement set is closed
+            raise InterpreterError(f"unknown statement {statement!r}")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _lvalue_address(self, target, env) -> int:
+        if isinstance(target, ast.VarRef):
+            symbol = target.symbol  # type: ignore[attr-defined]
+            if symbol.kind == "global":
+                return self.global_addresses[symbol.name]
+            return env[symbol.uid]
+        if isinstance(target, ast.Index):
+            base = self._eval_base_address(target.base, env)
+            index = _signed(self._eval(target.index, env))
+            return (base + 8 * index) & _MASK64
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return self._eval(target.operand, env) & _MASK64
+        raise InterpreterError("invalid assignment target")
+
+    def _eval_base_address(self, expr, env) -> int:
+        """Address of an array/pointer expression used as an index base."""
+        if isinstance(expr, ast.VarRef):
+            symbol = expr.symbol  # type: ignore[attr-defined]
+            if symbol.is_array:
+                if symbol.kind == "global":
+                    return self.global_addresses[symbol.name]
+                return env[symbol.uid]
+        return self._eval(expr, env) & _MASK64
+
+    def _eval(self, expr, env) -> int:
+        self._tick(expr.line)
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value & _MASK64
+        if isinstance(expr, ast.VarRef):
+            symbol = expr.symbol  # type: ignore[attr-defined]
+            if symbol.is_array:
+                return self._eval_base_address(expr, env)
+            if symbol.kind == "global":
+                return self.memory.get(
+                    self.global_addresses[symbol.name], 0
+                )
+            return self.memory.get(env[symbol.uid], 0)
+        if isinstance(expr, ast.Index):
+            base = self._eval_base_address(expr.base, env)
+            index = _signed(self._eval(expr.index, env))
+            return self.memory.get((base + 8 * index) & _MASK64, 0)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        raise InterpreterError(  # pragma: no cover - closed set
+            f"unknown expression {expr!r}"
+        )
+
+    def _eval_unary(self, expr, env) -> int:
+        if expr.op == "&":
+            if isinstance(expr.operand, ast.VarRef):
+                symbol = expr.operand.symbol  # type: ignore[attr-defined]
+                if symbol.kind == "global":
+                    return self.global_addresses[symbol.name]
+                return env[symbol.uid]
+            if isinstance(expr.operand, ast.Index):
+                return self._lvalue_address(expr.operand, env)
+            raise InterpreterError("'&' needs a variable or element")
+        if expr.op == "*":
+            address = self._eval(expr.operand, env) & _MASK64
+            return self.memory.get(address, 0)
+        value = self._eval(expr.operand, env)
+        if expr.op == "-":
+            return (-_signed(value)) & _MASK64
+        if expr.op == "!":
+            return 0 if _signed(value) != 0 else 1
+        if expr.op == "~":
+            return (~value) & _MASK64
+        raise InterpreterError(f"unknown unary {expr.op!r}")
+
+    def _eval_binary(self, expr, env) -> int:
+        op = expr.op
+        if op == "&&":
+            if _signed(self._eval(expr.left, env)) == 0:
+                return 0
+            return 1 if _signed(self._eval(expr.right, env)) != 0 else 0
+        if op == "||":
+            if _signed(self._eval(expr.left, env)) != 0:
+                return 1
+            return 1 if _signed(self._eval(expr.right, env)) != 0 else 0
+        left = _signed(self._eval(expr.left, env))
+        right = _signed(self._eval(expr.right, env))
+        if op == "+":
+            return (left + right) & _MASK64
+        if op == "-":
+            return (left - right) & _MASK64
+        if op == "*":
+            return (left * right) & _MASK64
+        if op in ("/", "%"):
+            if right == 0:
+                raise InterpreterError("division by zero")
+            quotient = abs(left) // abs(right)
+            if (left < 0) != (right < 0):
+                quotient = -quotient
+            if op == "/":
+                return quotient & _MASK64
+            return (left - quotient * right) & _MASK64
+        if op == "&":
+            return (left & right) & _MASK64
+        if op == "|":
+            return (left | right) & _MASK64
+        if op == "^":
+            return (left ^ right) & _MASK64
+        if op == "<<":
+            return (left << (right & 63)) & _MASK64
+        if op == ">>":
+            return (left >> (right & 63)) & _MASK64
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        raise InterpreterError(f"unknown binary {op!r}")
+
+    def _eval_call(self, expr, env) -> int:
+        if expr.name == "print":
+            value = self._eval(expr.args[0], env)
+            self.output.append(_signed(value))
+            return 0
+        if expr.name == "alloc":
+            count = _signed(self._eval(expr.args[0], env))
+            address = self._heap_cursor
+            self._heap_cursor += 8 * max(count, 0)
+            return address
+        if expr.name == "load32":
+            pointer = self._eval(expr.args[0], env)
+            offset = _signed(self._eval(expr.args[1], env))
+            addr = (pointer + offset) & _MASK64
+            if addr % 4 != 0:
+                raise InterpreterError(f"unaligned load32 at 0x{addr:x}")
+            word = self.memory.get(addr & ~7, 0)
+            value = (word >> ((addr & 7) * 8)) & 0xFFFFFFFF
+            if value & 0x80000000:  # ldl sign-extends
+                value |= 0xFFFFFFFF00000000
+            return value
+        if expr.name == "store32":
+            pointer = self._eval(expr.args[0], env)
+            offset = _signed(self._eval(expr.args[1], env))
+            value = self._eval(expr.args[2], env)
+            addr = (pointer + offset) & _MASK64
+            if addr % 4 != 0:
+                raise InterpreterError(f"unaligned store32 at 0x{addr:x}")
+            base = addr & ~7
+            shift = (addr & 7) * 8
+            mask = 0xFFFFFFFF << shift
+            old = self.memory.get(base, 0)
+            self.memory[base] = (old & ~mask) | (
+                (value & 0xFFFFFFFF) << shift
+            )
+            return 0
+        arguments = [self._eval(arg, env) for arg in expr.args]
+        return self.call(expr.name, arguments)
+
+
+def interpret(source: str, max_steps: int = 10_000_000) -> Interpreter:
+    """Parse, analyze and run MiniC ``source``; returns the interpreter."""
+    unit = parse(source)
+    interpreter = Interpreter(unit, max_steps=max_steps)
+    interpreter.run()
+    return interpreter

@@ -1,0 +1,343 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import Token, tokenize
+
+_ASSIGN_OPS = {
+    "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^=",
+}
+_COMPOUND_BASE = {
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "<<=": "<<",
+    ">>=": ">>",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+}
+
+# Binary operator precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class ParseError(ValueError):
+    """Raised on any syntax error, with source position."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"line {token.line}, col {token.column}: {message} "
+            f"(near {token.text!r})"
+        )
+        self.token = token
+
+
+class Parser:
+    """Parse a token stream into a :class:`~ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        expectation = text or kind
+        raise ParseError(f"expected {expectation!r}", self._peek())
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self._check("eof"):
+            self._expect("keyword", "int")
+            is_pointer = self._match("op", "*") is not None
+            name = self._expect("ident").text
+            if self._check("op", "("):
+                unit.functions.append(self._function_rest(name))
+            else:
+                if is_pointer:
+                    raise ParseError(
+                        "global pointers are not supported", self._peek()
+                    )
+                unit.globals.append(self._global_rest(name))
+        return unit
+
+    def _global_rest(self, name: str) -> ast.GlobalVar:
+        line = self._peek().line
+        array_size = None
+        initializer: List[int] = []
+        if self._match("op", "["):
+            array_size = self._int_literal_value()
+            self._expect("op", "]")
+        if self._match("op", "="):
+            if self._match("op", "{"):
+                initializer.append(self._int_literal_value())
+                while self._match("op", ","):
+                    initializer.append(self._int_literal_value())
+                self._expect("op", "}")
+            else:
+                initializer.append(self._int_literal_value())
+        self._expect("op", ";")
+        return ast.GlobalVar(
+            name=name, array_size=array_size, initializer=initializer, line=line
+        )
+
+    def _int_literal_value(self) -> int:
+        negative = self._match("op", "-") is not None
+        token = self._expect("int_lit")
+        value = int(token.text, 0)
+        return -value if negative else value
+
+    def _function_rest(self, name: str) -> ast.Function:
+        line = self._peek().line
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._check("op", ")"):
+            while True:
+                self._expect("keyword", "int")
+                is_pointer = self._match("op", "*") is not None
+                param_name = self._expect("ident").text
+                params.append(
+                    ast.Param(name=param_name, is_pointer=is_pointer, line=line)
+                )
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._block()
+        return ast.Function(name=name, params=params, body=body, line=line)
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self) -> List[ast.Stmt]:
+        self._expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            statements.append(self._statement())
+        self._expect("op", "}")
+        return statements
+
+    def _block_or_statement(self) -> List[ast.Stmt]:
+        if self._check("op", "{"):
+            return self._block()
+        return [self._statement()]
+
+    def _statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.text == "int":
+                return self._declaration()
+            if token.text == "if":
+                return self._if_statement()
+            if token.text == "while":
+                return self._while_statement()
+            if token.text == "for":
+                return self._for_statement()
+            if token.text == "return":
+                self._advance()
+                value = None
+                if not self._check("op", ";"):
+                    value = self._expression()
+                self._expect("op", ";")
+                return ast.Return(value=value, line=token.line)
+            if token.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+        statement = self._simple_statement()
+        self._expect("op", ";")
+        return statement
+
+    def _declaration(self, consume_semi: bool = True) -> ast.Declaration:
+        token = self._expect("keyword", "int")
+        is_pointer = self._match("op", "*") is not None
+        name = self._expect("ident").text
+        array_size = None
+        initializer = None
+        if self._match("op", "["):
+            array_size = self._int_literal_value()
+            self._expect("op", "]")
+        if self._match("op", "="):
+            initializer = self._expression()
+        if consume_semi:
+            self._expect("op", ";")
+        return ast.Declaration(
+            name=name,
+            array_size=array_size,
+            is_pointer=is_pointer,
+            initializer=initializer,
+            line=token.line,
+        )
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment or expression statement, without the ';'."""
+        line = self._peek().line
+        expr = self._expression()
+        operator = self._peek()
+        if operator.kind == "op" and operator.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._expression()
+            if operator.text != "=":
+                value = ast.Binary(
+                    op=_COMPOUND_BASE[operator.text],
+                    left=expr,
+                    right=value,
+                    line=line,
+                )
+            return ast.Assign(target=expr, value=value, line=line)
+        return ast.ExprStmt(expr=expr, line=line)
+
+    def _if_statement(self) -> ast.If:
+        token = self._expect("keyword", "if")
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        then_body = self._block_or_statement()
+        else_body: List[ast.Stmt] = []
+        if self._match("keyword", "else"):
+            if self._check("keyword", "if"):
+                else_body = [self._if_statement()]
+            else:
+                else_body = self._block_or_statement()
+        return ast.If(
+            condition=condition,
+            then_body=then_body,
+            else_body=else_body,
+            line=token.line,
+        )
+
+    def _while_statement(self) -> ast.While:
+        token = self._expect("keyword", "while")
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        body = self._block_or_statement()
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _for_statement(self) -> ast.For:
+        token = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "int"):
+                init = self._declaration(consume_semi=False)
+            else:
+                init = self._simple_statement()
+        self._expect("op", ";")
+        condition = None
+        if not self._check("op", ";"):
+            condition = self._expression()
+        self._expect("op", ";")
+        step: Optional[ast.Stmt] = None
+        if not self._check("op", ")"):
+            step = self._simple_statement()
+        self._expect("op", ")")
+        body = self._block_or_statement()
+        return ast.For(
+            init=init, condition=condition, step=step, body=body, line=token.line
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        operators = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self._peek().kind == "op" and self._peek().text in operators:
+            operator = self._advance()
+            right = self._binary(level + 1)
+            left = ast.Binary(
+                op=operator.text, left=left, right=right, line=operator.line
+            )
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while self._check("op", "["):
+            token = self._advance()
+            index = self._expression()
+            self._expect("op", "]")
+            expr = ast.Index(base=expr, index=index, line=token.line)
+        return expr
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "int_lit":
+            self._advance()
+            return ast.IntLiteral(value=int(token.text, 0), line=token.line)
+        if token.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._expression())
+                    while self._match("op", ","):
+                        args.append(self._expression())
+                self._expect("op", ")")
+                return ast.Call(name=token.text, args=args, line=token.line)
+            return ast.VarRef(name=token.text, line=token.line)
+        if self._match("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError("expected expression", token)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC ``source`` into an AST."""
+    return Parser(tokenize(source)).parse_unit()

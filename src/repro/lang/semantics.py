@@ -1,0 +1,313 @@
+"""Semantic analysis for MiniC.
+
+Resolves names against lexical scopes, checks call arity, validates
+assignment targets, and annotates the AST in place:
+
+* every ``VarRef`` gets a ``symbol`` attribute pointing at its
+  :class:`Symbol`;
+* every ``Function`` gets a ``info`` attribute holding the
+  :class:`FunctionInfo` the code generator consumes (ordered local
+  symbols, whether the function makes calls, whether any local has its
+  address taken).
+
+Address-taken and array locals matter to the reproduction: they are the
+locals that end up being accessed through general-purpose registers
+(``$gpr`` accesses in the paper's Figure 1) and must be *re-routed*
+into the SVF rather than morphed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang import ast_nodes as ast
+
+MAX_PARAMS = 6
+
+#: Built-in functions with their arity.  ``print`` writes an integer to
+#: the emulator output channel; ``alloc`` bump-allocates N quad-words
+#: from the heap region (standing in for malloc); ``load32``/``store32``
+#: perform 32-bit partial-word accesses (``ldl``/``stl``) at a byte
+#: offset from a pointer — the x86-flavoured references of the paper's
+#: future-work section.
+BUILTINS = {"print": 1, "alloc": 1, "load32": 2, "store32": 3}
+
+
+class SemanticError(ValueError):
+    """Raised on any semantic violation, with the source line."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class Symbol:
+    """One declared variable (global, parameter or local)."""
+
+    name: str
+    kind: str  # 'global' | 'param' | 'local'
+    is_array: bool = False
+    array_size: int = 0
+    is_pointer: bool = False
+    address_taken: bool = False
+    #: unique within the enclosing function (locals/params)
+    uid: int = 0
+    #: frame offset, filled in by the code generator
+    frame_offset: Optional[int] = None
+
+
+@dataclass
+class FunctionInfo:
+    """Code-generation facts about one function."""
+
+    name: str
+    params: List[Symbol] = field(default_factory=list)
+    locals: List[Symbol] = field(default_factory=list)
+    makes_calls: bool = False
+    has_arrays: bool = False
+    has_address_taken: bool = False
+
+
+class Analyzer:
+    """Single-pass resolver and checker."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals: Dict[str, Symbol] = {}
+        self.functions: Dict[str, ast.Function] = {}
+
+    def analyze(self) -> None:
+        for global_var in self.unit.globals:
+            if global_var.name in self.globals:
+                raise SemanticError(
+                    f"duplicate global {global_var.name!r}", global_var.line
+                )
+            if global_var.name in BUILTINS:
+                raise SemanticError(
+                    f"global shadows builtin {global_var.name!r}",
+                    global_var.line,
+                )
+            size = global_var.array_size
+            if size is not None and size <= 0:
+                raise SemanticError(
+                    f"non-positive array size for {global_var.name!r}",
+                    global_var.line,
+                )
+            self.globals[global_var.name] = Symbol(
+                name=global_var.name,
+                kind="global",
+                is_array=size is not None,
+                array_size=size or 0,
+            )
+        for function in self.unit.functions:
+            if function.name in self.functions or function.name in BUILTINS:
+                raise SemanticError(
+                    f"duplicate function {function.name!r}", function.line
+                )
+            if len(function.params) > MAX_PARAMS:
+                raise SemanticError(
+                    f"{function.name!r} has more than {MAX_PARAMS} parameters",
+                    function.line,
+                )
+            self.functions[function.name] = function
+        if "main" not in self.functions:
+            raise SemanticError("missing function 'main'", 0)
+        for function in self.unit.functions:
+            self._analyze_function(function)
+
+    # -- per function -------------------------------------------------------
+
+    def _analyze_function(self, function: ast.Function) -> None:
+        info = FunctionInfo(name=function.name)
+        self._uid = 0
+        scopes: List[Dict[str, Symbol]] = [{}]
+        for param in function.params:
+            if param.name in scopes[0]:
+                raise SemanticError(
+                    f"duplicate parameter {param.name!r}", param.line
+                )
+            symbol = Symbol(
+                name=param.name,
+                kind="param",
+                is_pointer=param.is_pointer,
+                uid=self._next_uid(),
+            )
+            scopes[0][param.name] = symbol
+            info.params.append(symbol)
+        self._walk_block(function.body, scopes, info, loop_depth=0)
+        info.has_arrays = any(s.is_array for s in info.locals)
+        info.has_address_taken = any(
+            s.address_taken for s in info.locals + info.params
+        )
+        function.info = info  # type: ignore[attr-defined]
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def _walk_block(self, body, scopes, info, loop_depth) -> None:
+        scopes.append({})
+        for statement in body:
+            self._walk_statement(statement, scopes, info, loop_depth)
+        scopes.pop()
+
+    def _walk_statement(self, statement, scopes, info, loop_depth) -> None:
+        if isinstance(statement, ast.Declaration):
+            self._declare(statement, scopes, info)
+        elif isinstance(statement, ast.Assign):
+            self._check_lvalue(statement.target, scopes, info)
+            self._walk_expression(statement.value, scopes, info)
+        elif isinstance(statement, ast.ExprStmt):
+            self._walk_expression(statement.expr, scopes, info)
+        elif isinstance(statement, ast.If):
+            self._walk_expression(statement.condition, scopes, info)
+            self._walk_block(statement.then_body, scopes, info, loop_depth)
+            self._walk_block(statement.else_body, scopes, info, loop_depth)
+        elif isinstance(statement, ast.While):
+            self._walk_expression(statement.condition, scopes, info)
+            self._walk_block(statement.body, scopes, info, loop_depth + 1)
+        elif isinstance(statement, ast.For):
+            scopes.append({})
+            if statement.init is not None:
+                self._walk_statement(statement.init, scopes, info, loop_depth)
+            if statement.condition is not None:
+                self._walk_expression(statement.condition, scopes, info)
+            if statement.step is not None:
+                self._walk_statement(
+                    statement.step, scopes, info, loop_depth + 1
+                )
+            self._walk_block(statement.body, scopes, info, loop_depth + 1)
+            scopes.pop()
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._walk_expression(statement.value, scopes, info)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                keyword = (
+                    "break" if isinstance(statement, ast.Break) else "continue"
+                )
+                raise SemanticError(f"{keyword} outside loop", statement.line)
+        else:  # pragma: no cover - statement set is closed
+            raise SemanticError(
+                f"unknown statement {type(statement).__name__}", statement.line
+            )
+
+    def _declare(self, declaration, scopes, info) -> None:
+        if declaration.name in scopes[-1]:
+            raise SemanticError(
+                f"duplicate declaration of {declaration.name!r}",
+                declaration.line,
+            )
+        size = declaration.array_size
+        if size is not None and size <= 0:
+            raise SemanticError(
+                f"non-positive array size for {declaration.name!r}",
+                declaration.line,
+            )
+        if size is not None and declaration.initializer is not None:
+            raise SemanticError(
+                "array declarations cannot have initializers",
+                declaration.line,
+            )
+        symbol = Symbol(
+            name=declaration.name,
+            kind="local",
+            is_array=size is not None,
+            array_size=size or 0,
+            is_pointer=declaration.is_pointer,
+            uid=self._next_uid(),
+        )
+        scopes[-1][declaration.name] = symbol
+        info.locals.append(symbol)
+        declaration.symbol = symbol  # type: ignore[attr-defined]
+        if declaration.initializer is not None:
+            self._walk_expression(declaration.initializer, scopes, info)
+
+    def _resolve(self, name: str, scopes, line: int) -> Symbol:
+        for scope in reversed(scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise SemanticError(f"undeclared variable {name!r}", line)
+
+    def _check_lvalue(self, target, scopes, info) -> None:
+        if isinstance(target, ast.VarRef):
+            symbol = self._resolve(target.name, scopes, target.line)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"cannot assign to array {target.name!r}", target.line
+                )
+            target.symbol = symbol  # type: ignore[attr-defined]
+            return
+        if isinstance(target, ast.Index):
+            self._walk_expression(target.base, scopes, info)
+            self._walk_expression(target.index, scopes, info)
+            return
+        if isinstance(target, ast.Unary) and target.op == "*":
+            self._walk_expression(target.operand, scopes, info)
+            return
+        raise SemanticError("invalid assignment target", target.line)
+
+    def _walk_expression(self, expr, scopes, info) -> None:
+        if expr is None or isinstance(expr, ast.IntLiteral):
+            return
+        if isinstance(expr, ast.VarRef):
+            expr.symbol = self._resolve(  # type: ignore[attr-defined]
+                expr.name, scopes, expr.line
+            )
+            return
+        if isinstance(expr, ast.Unary):
+            if expr.op == "&":
+                target = expr.operand
+                if isinstance(target, ast.VarRef):
+                    symbol = self._resolve(target.name, scopes, target.line)
+                    symbol.address_taken = True
+                    target.symbol = symbol  # type: ignore[attr-defined]
+                    return
+                if isinstance(target, ast.Index):
+                    self._walk_expression(target.base, scopes, info)
+                    self._walk_expression(target.index, scopes, info)
+                    return
+                raise SemanticError("'&' needs a variable or element", expr.line)
+            self._walk_expression(expr.operand, scopes, info)
+            return
+        if isinstance(expr, ast.Binary):
+            self._walk_expression(expr.left, scopes, info)
+            self._walk_expression(expr.right, scopes, info)
+            return
+        if isinstance(expr, ast.Index):
+            self._walk_expression(expr.base, scopes, info)
+            self._walk_expression(expr.index, scopes, info)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name in BUILTINS:
+                expected = BUILTINS[expr.name]
+            elif expr.name in self.functions:
+                expected = len(self.functions[expr.name].params)
+                info.makes_calls = True
+            else:
+                raise SemanticError(
+                    f"call to undefined function {expr.name!r}", expr.line
+                )
+            if len(expr.args) != expected:
+                raise SemanticError(
+                    f"{expr.name!r} expects {expected} argument(s), "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for argument in expr.args:
+                self._walk_expression(argument, scopes, info)
+            return
+        raise SemanticError(
+            f"unknown expression {type(expr).__name__}", expr.line
+        )
+
+
+def analyze(unit: ast.TranslationUnit) -> Analyzer:
+    """Run semantic analysis, annotating ``unit`` in place."""
+    analyzer = Analyzer(unit)
+    analyzer.analyze()
+    return analyzer

@@ -1,0 +1,41 @@
+"""Dynamic-trace records, region classification and analyses."""
+
+from repro.trace.analysis import (
+    AccessDistribution,
+    MultiSink,
+    OffsetLocality,
+    StackDepthProfile,
+)
+from repro.trace.records import TraceRecord
+from repro.trace.serialization import (
+    TraceFormatError,
+    TraceWriter,
+    load_trace,
+    save_trace,
+)
+from repro.trace.regions import (
+    AccessMethod,
+    Region,
+    STACK_REGION_FLOOR,
+    classify_access,
+    classify_address,
+    is_stack_address,
+)
+
+__all__ = [
+    "AccessDistribution",
+    "AccessMethod",
+    "MultiSink",
+    "OffsetLocality",
+    "Region",
+    "STACK_REGION_FLOOR",
+    "StackDepthProfile",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceWriter",
+    "classify_access",
+    "classify_address",
+    "is_stack_address",
+    "load_trace",
+    "save_trace",
+]

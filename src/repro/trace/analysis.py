@@ -1,0 +1,206 @@
+"""Streaming trace analyses reproducing the paper's Figures 1-3.
+
+Each analysis implements the trace-sink protocol (an ``append`` method)
+so it can be attached directly to :meth:`repro.emulator.Machine.run`
+and consume the dynamic instruction stream without storing it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace.records import TraceRecord
+from repro.trace.regions import AccessMethod, classify_access
+
+
+@dataclass
+class AccessDistribution:
+    """Figure 1: run-time memory-access distribution.
+
+    Counts data references by region and access method, normalized to
+    total memory references, plus the fraction of all instructions that
+    access memory.
+    """
+
+    total_instructions: int = 0
+    memory_references: int = 0
+    counts: Dict[AccessMethod, int] = field(
+        default_factory=lambda: {method: 0 for method in AccessMethod}
+    )
+
+    def append(self, record: TraceRecord) -> None:
+        self.total_instructions += 1
+        if not (record.is_load or record.is_store):
+            return
+        self.memory_references += 1
+        self.counts[classify_access(record.addr, record.base_reg)] += 1
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of executed instructions that reference memory."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.memory_references / self.total_instructions
+
+    def fraction(self, method: AccessMethod) -> float:
+        """Fraction of memory references with the given classification."""
+        if self.memory_references == 0:
+            return 0.0
+        return self.counts[method] / self.memory_references
+
+    @property
+    def stack_fraction(self) -> float:
+        """Fraction of memory references that touch the stack."""
+        return (
+            self.fraction(AccessMethod.STACK_SP)
+            + self.fraction(AccessMethod.STACK_FP)
+            + self.fraction(AccessMethod.STACK_GPR)
+        )
+
+    @property
+    def sp_fraction_of_stack(self) -> float:
+        """Fraction of *stack* references that are $sp-relative."""
+        stack_total = (
+            self.counts[AccessMethod.STACK_SP]
+            + self.counts[AccessMethod.STACK_FP]
+            + self.counts[AccessMethod.STACK_GPR]
+        )
+        if stack_total == 0:
+            return 0.0
+        return self.counts[AccessMethod.STACK_SP] / stack_total
+
+
+@dataclass
+class StackDepthProfile:
+    """Figure 2: stack-depth variation over time.
+
+    Logs the TOS depth (in 64-bit units below the stack base, matching
+    the paper's y-axis) at every ``$sp`` update.
+    """
+
+    stack_base: int
+    samples: List[Tuple[int, int]] = field(default_factory=list)
+    max_depth: int = 0
+
+    def append(self, record: TraceRecord) -> None:
+        if not record.sp_update:
+            return
+        depth = (self.stack_base - record.sp_value) // 8
+        self.samples.append((record.index, depth))
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def depth_series(self, points: int = 100) -> List[int]:
+        """Resample the depth curve to a fixed number of points."""
+        if not self.samples or points <= 0:
+            return []
+        if len(self.samples) <= points:
+            return [depth for _, depth in self.samples]
+        step = len(self.samples) / points
+        return [
+            self.samples[int(i * step)][1] for i in range(points)
+        ]
+
+    def stable_range(self, skip_fraction: float = 0.2) -> Tuple[int, int]:
+        """(min, max) depth after the initialization phase."""
+        if not self.samples:
+            return (0, 0)
+        start = int(len(self.samples) * skip_fraction)
+        depths = [depth for _, depth in self.samples[start:]] or [
+            self.samples[-1][1]
+        ]
+        return (min(depths), max(depths))
+
+
+@dataclass
+class OffsetLocality:
+    """Figure 3: cumulative distribution of offsets from the TOS.
+
+    For each stack reference, the offset is ``addr - $sp`` (the stack
+    grows down, so live data sits at addresses >= ``$sp``).  The paper
+    plots the within-function CDF on a log10 x-axis and reports the
+    average distance and the fraction within 8 KB.
+    """
+
+    histogram: Dict[int, int] = field(default_factory=dict)
+    total: int = 0
+    sum_offsets: int = 0
+    beyond_tos: int = 0
+
+    def append(self, record: TraceRecord) -> None:
+        if not (record.is_load or record.is_store):
+            return
+        from repro.trace.regions import is_stack_address
+
+        if not is_stack_address(record.addr):
+            return
+        offset = record.addr - record.sp_value
+        if offset < 0:
+            self.beyond_tos += 1
+            return
+        self.total += 1
+        self.sum_offsets += offset
+        self.histogram[offset] = self.histogram.get(offset, 0) + 1
+
+    @property
+    def average_offset(self) -> float:
+        """Average distance (bytes) of a stack reference from the TOS."""
+        if self.total == 0:
+            return 0.0
+        return self.sum_offsets / self.total
+
+    def fraction_within(self, limit_bytes: int) -> float:
+        """Fraction of stack references within ``limit_bytes`` of TOS."""
+        if self.total == 0:
+            return 0.0
+        covered = sum(
+            count
+            for offset, count in self.histogram.items()
+            if offset <= limit_bytes
+        )
+        return covered / self.total
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """The cumulative distribution as (offset, fraction) pairs."""
+        cumulative = 0
+        points = []
+        for offset in sorted(self.histogram):
+            cumulative += self.histogram[offset]
+            points.append((offset, cumulative / self.total))
+        return points
+
+    def log_cdf(self, buckets: int = 32) -> List[Tuple[float, float]]:
+        """CDF resampled onto a log10 grid (the paper's x-axis)."""
+        if self.total == 0:
+            return []
+        max_offset = max(self.histogram)
+        top = math.log10(max(max_offset, 1) + 1)
+        grid = [10 ** (top * (i + 1) / buckets) - 1 for i in range(buckets)]
+        grid[-1] = float(max_offset)  # guard against float rounding
+        cdf_points = self.cdf()
+        out = []
+        position = 0
+        cumulative = 0.0
+        for edge in grid:
+            while position < len(cdf_points) and cdf_points[position][0] <= edge:
+                cumulative = cdf_points[position][1]
+                position += 1
+            out.append((edge, cumulative))
+        return out
+
+
+class MultiSink:
+    """Fan a trace stream out to several sinks (and optionally keep it)."""
+
+    def __init__(self, *sinks, keep: bool = False):
+        self.sinks = list(sinks)
+        self.records: List[TraceRecord] = []
+        self._keep = keep
+
+    def append(self, record: TraceRecord) -> None:
+        for sink in self.sinks:
+            sink.append(record)
+        if self._keep:
+            self.records.append(record)

@@ -1,0 +1,76 @@
+"""Memory-region classification (paper Section 2, Figure 1).
+
+The paper partitions data references by the region of memory they
+access — stack, global (static) data, heap — and partitions *stack*
+references further by access method: through ``$sp``, through ``$fp``,
+or through a general-purpose register (``$gpr``).  ``$sp``-relative
+accesses are the ones the SVF can morph in the front-end; the others
+must be bounds-checked and re-routed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.emulator.memory import DATA_BASE, HEAP_BASE, TEXT_BASE
+from repro.isa.registers import FP, SP
+
+#: Addresses at or above this are considered part of the stack region.
+#: The stack grows down from STACK_BASE; nothing else is mapped in the
+#: upper half of the address space.
+STACK_REGION_FLOOR = 0x4000_0000
+
+
+class Region(Enum):
+    """Coarse memory regions of the Alpha-style address space."""
+
+    TEXT = "text"
+    GLOBAL = "global"
+    HEAP = "heap"
+    STACK = "stack"
+    OTHER = "other"
+
+
+class AccessMethod(Enum):
+    """How a stack reference addressed the stack (Figure 1)."""
+
+    STACK_SP = "stack_sp"
+    STACK_FP = "stack_fp"
+    STACK_GPR = "stack_gpr"
+    GLOBAL = "global"
+    HEAP = "heap"
+    OTHER = "other"
+
+
+def classify_address(addr: int) -> Region:
+    """Map an address to its memory region."""
+    if addr >= STACK_REGION_FLOOR:
+        return Region.STACK
+    if addr >= HEAP_BASE:
+        return Region.HEAP
+    if addr >= DATA_BASE:
+        return Region.GLOBAL
+    if addr >= TEXT_BASE:
+        return Region.TEXT
+    return Region.OTHER
+
+
+def classify_access(addr: int, base_reg) -> AccessMethod:
+    """Classify one data reference by region and access method."""
+    region = classify_address(addr)
+    if region is Region.STACK:
+        if base_reg == SP:
+            return AccessMethod.STACK_SP
+        if base_reg == FP:
+            return AccessMethod.STACK_FP
+        return AccessMethod.STACK_GPR
+    if region is Region.HEAP:
+        return AccessMethod.HEAP
+    if region is Region.GLOBAL:
+        return AccessMethod.GLOBAL
+    return AccessMethod.OTHER
+
+
+def is_stack_address(addr: int) -> bool:
+    """True if ``addr`` lies in the stack region."""
+    return addr >= STACK_REGION_FLOOR

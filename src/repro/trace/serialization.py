@@ -1,0 +1,164 @@
+"""Binary trace serialization.
+
+Traces are expensive to produce (functional emulation) and cheap to
+replay (the timing model), so persisting them pays off when sweeping
+many machine configurations — the same split SimpleScalar users make
+with EIO traces.  The format is a fixed 44-byte little-endian record:
+
+``<I``  pc
+``<B``  opcode number (see :mod:`repro.isa.encoding`)
+``<B``  flags (load/store/branch/conditional/taken/sp-update bits)
+``<B``  size, ``<b`` base_reg (-1 = none), ``<b`` dst (-1 = none),
+``<b``  src count, ``<BB`` srcs,
+``<q``  displacement (a full immediate for ALU records),
+``<i``  sp_update_immediate,
+``<Q``  addr, ``<I`` next_pc, ``<Q`` sp_value.
+
+A magic header guards against version skew.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, List
+
+from repro.isa.encoding import OPCODE_NAMES, OPCODE_NUMBERS
+from repro.isa.instructions import OPCODES
+from repro.trace.records import TraceRecord
+
+MAGIC = b"SVFT\x02\x00"
+
+_RECORD = struct.Struct("<IBBBbbbBBqiQIQ")
+
+_FLAG_LOAD = 1
+_FLAG_STORE = 2
+_FLAG_BRANCH = 4
+_FLAG_CONDITIONAL = 8
+_FLAG_TAKEN = 16
+_FLAG_SP_UPDATE = 32
+
+
+class TraceFormatError(ValueError):
+    """Raised when a file is not a valid serialized trace."""
+
+
+def _flags_of(record: TraceRecord) -> int:
+    flags = 0
+    if record.is_load:
+        flags |= _FLAG_LOAD
+    if record.is_store:
+        flags |= _FLAG_STORE
+    if record.is_branch:
+        flags |= _FLAG_BRANCH
+    if record.is_conditional:
+        flags |= _FLAG_CONDITIONAL
+    if record.taken:
+        flags |= _FLAG_TAKEN
+    if record.sp_update:
+        flags |= _FLAG_SP_UPDATE
+    return flags
+
+
+def _pack(record: TraceRecord) -> bytes:
+    srcs = record.srcs[:2]
+    return _RECORD.pack(
+        record.pc,
+        OPCODE_NUMBERS[record.op],
+        _flags_of(record),
+        record.size,
+        record.base_reg if record.base_reg is not None else -1,
+        record.dst if record.dst is not None else -1,
+        len(srcs),
+        srcs[0] if len(srcs) > 0 else 0,
+        srcs[1] if len(srcs) > 1 else 0,
+        record.displacement,
+        record.sp_update_immediate,
+        record.addr,
+        record.next_pc,
+        record.sp_value,
+    )
+
+
+def _unpack(blob: bytes, index: int) -> TraceRecord:
+    (
+        pc,
+        opcode,
+        flags,
+        size,
+        base_reg,
+        dst,
+        src_count,
+        src0,
+        src1,
+        displacement,
+        sp_update_immediate,
+        addr,
+        next_pc,
+        sp_value,
+    ) = _RECORD.unpack(blob)
+    name = OPCODE_NAMES.get(opcode)
+    if name is None:
+        raise TraceFormatError(f"bad opcode {opcode} at record {index}")
+    srcs = tuple((src0, src1)[:src_count])
+    return TraceRecord(
+        index=index,
+        pc=pc,
+        op=name,
+        op_class=OPCODES[name].op_class,
+        srcs=srcs,
+        dst=dst if dst >= 0 else None,
+        is_load=bool(flags & _FLAG_LOAD),
+        is_store=bool(flags & _FLAG_STORE),
+        addr=addr,
+        size=size,
+        base_reg=base_reg if base_reg >= 0 else None,
+        displacement=displacement,
+        is_branch=bool(flags & _FLAG_BRANCH),
+        is_conditional=bool(flags & _FLAG_CONDITIONAL),
+        taken=bool(flags & _FLAG_TAKEN),
+        next_pc=next_pc,
+        sp_value=sp_value,
+        sp_update=bool(flags & _FLAG_SP_UPDATE),
+        sp_update_immediate=sp_update_immediate,
+    )
+
+
+class TraceWriter:
+    """Streaming sink: attach to ``Machine.run(trace_sink=...)``."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self.count = 0
+        stream.write(MAGIC)
+
+    def append(self, record: TraceRecord) -> None:
+        self._stream.write(_pack(record))
+        self.count += 1
+
+
+def save_trace(trace: Iterable[TraceRecord], path: str) -> int:
+    """Write a trace to ``path``; returns the record count."""
+    with open(path, "wb") as stream:
+        writer = TraceWriter(stream)
+        for record in trace:
+            writer.append(record)
+        return writer.count
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Read a trace written by :func:`save_trace` / :class:`TraceWriter`."""
+    with open(path, "rb") as stream:
+        header = stream.read(len(MAGIC))
+        if header != MAGIC:
+            raise TraceFormatError(f"bad trace header in {path!r}")
+        out: List[TraceRecord] = []
+        index = 0
+        record_size = _RECORD.size
+        while True:
+            blob = stream.read(record_size)
+            if not blob:
+                return out
+            if len(blob) != record_size:
+                raise TraceFormatError(f"truncated trace file {path!r}")
+            out.append(_unpack(blob, index))
+            index += 1

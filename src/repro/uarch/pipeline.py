@@ -1,0 +1,468 @@
+"""One-pass out-of-order timing model (modified-SimpleScalar analogue).
+
+The model replays the dynamic instruction stream produced by the
+functional emulator and computes, for every instruction, the cycle at
+which it is fetched, dispatched, issued, completed and committed,
+subject to:
+
+* fetch bandwidth, IFQ occupancy and branch-redirect bubbles;
+* a unified RUU window (dispatch stalls when the instruction
+  ``ruu_size`` older has not committed) and an LSQ window for memory
+  operations — the paper's Register Update Unit organization;
+* issue width, integer ALU/multiplier pools and cache-port pools;
+* the DL1/L2/memory hierarchy of Table 2, with 3-cycle store
+  forwarding in the LSQ;
+* in-order commit bandwidth.
+
+The stack unit is pluggable (``config.svf.mode``):
+
+``none``
+    every reference uses a DL1 port.
+``svf``
+    ``$sp``-relative references inside the SVF window are *morphed*
+    into register moves: the base-register (address calculation)
+    dependence disappears, the access uses an SVF port with 1-cycle
+    latency, and store→load communication happens through the rename
+    map (``entry_ready``) instead of the 3-cycle LSQ poll.  Non-``$sp``
+    stack references in range are re-routed at cache-like latency;
+    gpr-store → sp-load collisions cost a pipeline squash (Section
+    3.2) unless the ``no_squash`` code-generation option is set.
+``ideal``
+    Figure 5's limit study: every stack reference morphs, with
+    unbounded capacity and ports.
+``stack_cache``
+    the decoupled stack cache: stack references use stack-cache ports
+    and refill from the L2; every miss moves whole lines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.core.stack_cache import StackCache
+from repro.core.svf import StackValueFile
+from repro.isa.instructions import OpClass
+from repro.isa.registers import NUM_REGISTERS, SP
+from repro.trace.regions import is_stack_address
+from repro.uarch.bpred import make_predictor
+from repro.uarch.cache import build_hierarchy
+from repro.uarch.config import MachineConfig
+from repro.uarch.resources import CyclePool, acquire_all
+from repro.uarch.stats import SimStats
+
+_DIV_OPS = ("divq", "remq")
+
+
+def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
+    """Run the timing model over a trace; returns :class:`SimStats`."""
+    stats = SimStats(config_name=config.name)
+    predictor = make_predictor(config.branch_predictor)
+    dl1, l2 = build_hierarchy(config.dl1, config.l2, config.memory_latency)
+
+    svf_conf = config.svf
+    mode = svf_conf.mode
+    svf: Optional[StackValueFile] = None
+    stack_cache: Optional[StackCache] = None
+    if mode == "svf":
+        svf = StackValueFile(
+            capacity_bytes=svf_conf.capacity_bytes,
+            granularity=svf_conf.granularity,
+        )
+        # Writebacks land in the DL1 (write-back path), so data the SVF
+        # spills can be re-read at L1 latency.
+        svf.writeback_sink = lambda addr: dl1.access(addr, is_write=True)
+    elif mode == "stack_cache":
+        stack_cache = StackCache(capacity_bytes=svf_conf.capacity_bytes)
+
+    fetch_pool = CyclePool("fetch", config.decode_width)
+    dispatch_pool = CyclePool("dispatch", config.decode_width)
+    issue_pool = CyclePool("issue", config.issue_width)
+    commit_pool = CyclePool("commit", config.commit_width)
+    alu_pool = CyclePool("alu", config.int_alus)
+    mult_pool = CyclePool("mult", config.int_mults)
+    dl1_ports = CyclePool("dl1_ports", config.dl1_ports)
+    stack_ports = (
+        CyclePool("stack_ports", svf_conf.ports)
+        if mode in ("svf", "stack_cache")
+        else None
+    )
+    # Banked SVF: one single-ported pool per bank, selected by the
+    # low-order word-address bits (conclusion of the paper: banking is
+    # the cheap alternative to true multiporting).
+    svf_banks = (
+        [CyclePool(f"svf_bank{i}", 1) for i in range(svf_conf.banks)]
+        if mode == "svf" and svf_conf.banks > 0
+        else None
+    )
+
+    reg_ready = [0] * NUM_REGISTERS
+    entry_ready = {}  # SVF quad-word -> cycle its renamed value is ready
+    last_store = {}  # quad-word -> (index, complete) for LSQ forwarding
+    pending_gpr_store = {}  # quad-word -> (index, complete) for squashes
+
+    ifq_ring = deque(maxlen=config.ifq_size)
+    ruu_ring = deque(maxlen=config.ruu_size)
+    lsq_ring = deque(maxlen=config.lsq_size)
+
+    redirect_at = 0
+    decode_block = 0
+    prev_dispatch = 0
+    last_commit = 0
+    sp_seen = False
+    # Adaptive disable (Section 3.3): watch the squash rate and shut
+    # the SVF off for a cooling period when it misbehaves locally.
+    adaptive = svf_conf.adaptive and mode == "svf"
+    svf_disabled_until = -1
+    window_end = svf_conf.adaptive_window
+    window_squashes = 0
+    disables = 0
+    forward_latency = config.store_forward_latency
+    frontend_depth = config.frontend_depth
+    dl1_latency = config.dl1.latency
+
+    switch_period = config.context_switch_period
+    switch_bytes = 0
+    switches = 0
+
+    for index, record in enumerate(trace):
+        stats.instructions += 1
+
+        # ------------------------------------------- context switches
+        if switch_period and index and index % switch_period == 0:
+            switches += 1
+            redirect_at = max(
+                redirect_at, last_commit + config.context_switch_overhead
+            )
+            if svf is not None:
+                switch_bytes += svf.context_switch()
+                entry_ready.clear()
+                pending_gpr_store.clear()
+            if stack_cache is not None:
+                switch_bytes += stack_cache.context_switch()
+            last_store.clear()
+
+        # ------------------------------------------------------ fetch
+        fetch_floor = redirect_at
+        if len(ifq_ring) == config.ifq_size:
+            fetch_floor = max(fetch_floor, ifq_ring[0])
+        fetch_cycle = fetch_pool.acquire(fetch_floor)
+
+        # ---------------------------------------------------- dispatch
+        dispatch_floor = max(
+            fetch_cycle + frontend_depth, prev_dispatch, decode_block
+        )
+        if len(ruu_ring) == config.ruu_size:
+            dispatch_floor = max(dispatch_floor, ruu_ring[0])
+        if record.is_mem and len(lsq_ring) == config.lsq_size:
+            dispatch_floor = max(dispatch_floor, lsq_ring[0])
+        dispatch_cycle = dispatch_pool.acquire(dispatch_floor)
+        prev_dispatch = dispatch_cycle
+        ifq_ring.append(dispatch_cycle)
+
+        # SVF front-end bookkeeping: the speculative $sp copy follows
+        # immediate adjustments for free; any other $sp write stalls
+        # decode until it resolves (Section 3.1).
+        if svf is not None and not sp_seen:
+            svf.update_sp(record.sp_value)
+            sp_seen = True
+
+        # ----------------------------------------------- routing
+        if adaptive and index >= window_end:
+            if window_squashes >= svf_conf.adaptive_threshold:
+                svf_disabled_until = index + svf_conf.adaptive_off_period
+                disables += 1
+                svf.context_switch()  # flush dirty state, go cold
+                pending_gpr_store.clear()
+            window_squashes = 0
+            window_end = index + svf_conf.adaptive_window
+        svf_active = not adaptive or index >= svf_disabled_until
+
+        route = "dl1"
+        qw = 0
+        if record.is_mem:
+            qw = record.addr & ~7
+            on_stack = is_stack_address(record.addr)
+            if mode == "ideal" and on_stack:
+                route = "fast"
+            elif mode == "svf" and on_stack and svf_active:
+                if svf.covers(record.addr):
+                    route = "fast" if record.base_reg == SP else "reroute"
+                else:
+                    stats.svf_out_of_range += 1
+            elif mode == "stack_cache" and on_stack:
+                route = "sc"
+
+        # ------------------------------------------------ readiness
+        ready = dispatch_cycle + 1
+        drop_base = record.is_mem and (
+            (route == "fast" and svf_conf.spec_sp)
+            or (config.no_addr_calc and is_stack_address(record.addr))
+        )
+        if record.is_mem and config.agu_depth and not drop_base:
+            # Deep pipelines place address generation several stages
+            # past dispatch; morphed references resolved in decode
+            # skip those stages entirely (Section 3.1).
+            ready += config.agu_depth
+        for src in record.srcs:
+            if drop_base and src == record.base_reg and (
+                not record.is_store or src != record.dst
+            ):
+                continue
+            if reg_ready[src] > ready:
+                ready = reg_ready[src]
+
+        # ------------------------------------------- issue + latency
+        if record.is_mem:
+            if route in ("fast", "reroute"):
+                if svf_banks is not None:
+                    port_pool = svf_banks[(qw >> 3) % len(svf_banks)]
+                else:
+                    port_pool = stack_ports
+            elif route == "sc":
+                port_pool = stack_ports
+            else:
+                port_pool = dl1_ports
+            pools = (
+                [issue_pool, port_pool]
+                if (port_pool is not None and route != "fast")
+                or (route == "fast" and mode == "svf")
+                else [issue_pool]
+            )
+            issue_cycle = acquire_all(pools, ready)
+            complete = _memory_complete(
+                record,
+                index,
+                qw,
+                route,
+                issue_cycle,
+                stats,
+                config,
+                dl1,
+                l2,
+                svf,
+                stack_cache,
+                entry_ready,
+                last_store,
+                pending_gpr_store,
+                dl1_latency,
+                forward_latency,
+            )
+            if route == "fast" and record.is_load:
+                # Squash check: a pending gpr-store to the same word
+                # that has not completed by our issue time means this
+                # morphed load read a stale value (Section 3.2).
+                pending = pending_gpr_store.get(qw)
+                if (
+                    pending is not None
+                    and pending[0] < index
+                    and pending[1] > issue_cycle
+                ):
+                    if svf_conf.no_squash:
+                        complete = max(complete, pending[1] + 1)
+                    else:
+                        stats.svf_squashes += 1
+                        window_squashes += 1
+                        redirect_at = max(
+                            redirect_at,
+                            pending[1] + svf_conf.squash_penalty,
+                        )
+                        complete = max(
+                            complete, pending[1] + svf_conf.fast_latency
+                        )
+            lsq_placeholder = True
+        else:
+            fu_pool = (
+                mult_pool
+                if record.op_class is OpClass.IMULT
+                else alu_pool
+            )
+            issue_cycle = acquire_all([issue_pool, fu_pool], ready)
+            if record.op_class is OpClass.IMULT:
+                latency = 20 if record.op in _DIV_OPS else 3
+            else:
+                latency = 1
+            complete = issue_cycle + latency
+            lsq_placeholder = False
+
+        # --------------------------------------------------- branches
+        if record.is_branch:
+            stats.branches += 1
+            correct = predictor.predict(record)
+            if not correct:
+                stats.mispredictions += 1
+                redirect_at = max(
+                    redirect_at, complete + config.mispredict_redirect
+                )
+
+        # $sp interlock: unexpected (non-immediate) updates stall
+        # decode of everything younger until the new $sp resolves.
+        if record.sp_update:
+            if svf is not None:
+                svf.update_sp(record.sp_value)
+            if (
+                mode in ("svf", "ideal")
+                and record.op == "lda"
+                and record.sp_update_immediate != 0
+            ):
+                pass  # speculative $sp copy tracks immediates for free
+            elif mode in ("svf", "ideal"):
+                decode_block = max(decode_block, complete)
+
+        # ----------------------------------------------------- commit
+        commit_cycle = commit_pool.acquire(max(complete + 1, last_commit))
+        last_commit = commit_cycle
+        ruu_ring.append(commit_cycle)
+        if lsq_placeholder:
+            lsq_ring.append(commit_cycle)
+
+        # ---------------------------------------------------- results
+        dst = record.dst
+        if dst is not None:
+            reg_ready[dst] = complete
+
+    stats.cycles = last_commit
+    stats.dl1_accesses = dl1.hits + dl1.misses
+    stats.dl1_hits = dl1.hits
+    stats.dl1_misses = dl1.misses
+    stats.l2_misses = l2.misses
+    if stack_cache is not None:
+        stats.stack_cache_hits = stack_cache.hits
+        stats.stack_cache_misses = stack_cache.misses
+    if svf is not None:
+        stats.svf_fills = svf.fills
+    if adaptive:
+        stats.extras["svf_disables"] = disables
+    if switch_period:
+        stats.extras["context_switches"] = switches
+        stats.extras["switch_writeback_bytes"] = switch_bytes
+    return stats
+
+
+def _memory_complete(
+    record,
+    index,
+    qw,
+    route,
+    issue_cycle,
+    stats,
+    config,
+    dl1,
+    l2,
+    svf,
+    stack_cache,
+    entry_ready,
+    last_store,
+    pending_gpr_store,
+    dl1_latency,
+    forward_latency,
+):
+    """Latency/state handling for one memory reference."""
+    svf_conf = config.svf
+    if record.is_load:
+        stats.loads += 1
+    else:
+        stats.stores += 1
+
+    if route == "fast":
+        fast_latency = svf_conf.fast_latency
+        if svf is not None:
+            outcome = svf.access(record.addr, record.size, record.is_store)
+            if outcome.filled:
+                # A demand fill reads the word from the L1: the data
+                # arrives at L1 (or below) latency plus one cycle of
+                # SVF insertion.
+                fast_latency = dl1.access(record.addr) + 1
+        if record.is_store:
+            stats.svf_fast_stores += 1
+            complete = issue_cycle + svf_conf.fast_latency
+            entry_ready[qw] = complete
+        else:
+            stats.svf_fast_loads += 1
+            complete = max(
+                issue_cycle + fast_latency,
+                entry_ready.get(qw, 0) + 1,
+            )
+        return complete
+
+    if route == "reroute":
+        stats.svf_rerouted += 1
+        outcome = svf.access(record.addr, record.size, record.is_store)
+        access_latency = svf_conf.reroute_latency
+        if outcome.filled:
+            access_latency = dl1.access(record.addr) + 1
+        if record.is_store:
+            # Stores complete into the LSQ as on the DL1 path; the
+            # reroute penalty applies to loads, which must poll the
+            # SVF after their address resolves.
+            complete = issue_cycle + 1
+            entry_ready[qw] = complete
+            pending_gpr_store[qw] = (index, complete)
+        else:
+            complete = (
+                max(issue_cycle, entry_ready.get(qw, 0)) + access_latency
+            )
+        return complete
+
+    if route == "sc":
+        outcome = stack_cache.access(record.addr, record.size, record.is_store)
+        if outcome.hit:
+            access_latency = dl1_latency
+        else:
+            access_latency = l2.access(record.addr, is_write=record.is_store)
+        return _lsq_complete(
+            record,
+            index,
+            qw,
+            issue_cycle,
+            access_latency,
+            stats,
+            config,
+            last_store,
+            forward_latency,
+        )
+
+    # Default DL1 path.
+    if record.is_store:
+        access_latency = 1
+        dl1.access(record.addr, is_write=True)
+    else:
+        forwarded = last_store.get(qw)
+        if forwarded is not None and forwarded[1] > issue_cycle:
+            stats.store_forwards += 1
+            return max(issue_cycle, forwarded[1]) + forward_latency
+        access_latency = dl1.access(record.addr)
+    return _lsq_complete(
+        record,
+        index,
+        qw,
+        issue_cycle,
+        access_latency,
+        stats,
+        config,
+        last_store,
+        forward_latency,
+    )
+
+
+def _lsq_complete(
+    record,
+    index,
+    qw,
+    issue_cycle,
+    access_latency,
+    stats,
+    config,
+    last_store,
+    forward_latency,
+):
+    """Store-forwarding-aware completion for LSQ-mediated references."""
+    if record.is_store:
+        complete = issue_cycle + 1
+        last_store[qw] = (index, complete)
+        return complete
+    forwarded = last_store.get(qw)
+    if forwarded is not None and forwarded[1] > issue_cycle:
+        stats.store_forwards += 1
+        return max(issue_cycle, forwarded[1]) + forward_latency
+    return issue_cycle + access_latency

@@ -1,0 +1,55 @@
+"""Per-cycle structural-resource pools for the one-pass timing model.
+
+Each pool models one resource kind with a fixed number of units per
+cycle (decode slots, issue slots, ALUs, cache ports...).  The timing
+model asks for the earliest cycle at or after a lower bound where one
+unit (or one unit of *each* of several pools) is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class CyclePool:
+    """A resource with ``per_cycle`` units available each cycle."""
+
+    __slots__ = ("name", "per_cycle", "_used")
+
+    def __init__(self, name: str, per_cycle: int):
+        if per_cycle <= 0:
+            raise ValueError(f"{name}: per_cycle must be positive")
+        self.name = name
+        self.per_cycle = per_cycle
+        self._used: Dict[int, int] = {}
+
+    def available(self, cycle: int) -> bool:
+        """True if a unit is free at ``cycle``."""
+        return self._used.get(cycle, 0) < self.per_cycle
+
+    def take(self, cycle: int) -> None:
+        """Consume one unit at ``cycle`` (caller checked availability)."""
+        self._used[cycle] = self._used.get(cycle, 0) + 1
+
+    def acquire(self, cycle: int) -> int:
+        """Take one unit at the earliest cycle >= ``cycle``."""
+        used = self._used
+        per_cycle = self.per_cycle
+        while used.get(cycle, 0) >= per_cycle:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        return cycle
+
+    def usage(self, cycle: int) -> int:
+        return self._used.get(cycle, 0)
+
+
+def acquire_all(pools: Iterable[CyclePool], cycle: int) -> int:
+    """Take one unit of *each* pool at the earliest common free cycle."""
+    pool_list = list(pools)
+    while True:
+        if all(pool.available(cycle) for pool in pool_list):
+            for pool in pool_list:
+                pool.take(cycle)
+            return cycle
+        cycle += 1

@@ -1,0 +1,70 @@
+"""Simulation statistics reported by the timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Everything one pipeline simulation measured."""
+
+    config_name: str = ""
+    instructions: int = 0
+    cycles: int = 0
+    # Memory-system behaviour.
+    loads: int = 0
+    stores: int = 0
+    dl1_accesses: int = 0
+    dl1_hits: int = 0
+    dl1_misses: int = 0
+    l2_misses: int = 0
+    store_forwards: int = 0
+    # Branching.
+    branches: int = 0
+    mispredictions: int = 0
+    # SVF behaviour (Figure 8, squashes of Section 3.2).
+    svf_fast_loads: int = 0
+    svf_fast_stores: int = 0
+    svf_rerouted: int = 0
+    svf_out_of_range: int = 0
+    svf_fills: int = 0
+    svf_squashes: int = 0
+    # Stack-cache behaviour.
+    stack_cache_hits: int = 0
+    stack_cache_misses: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def speedup_over(self, baseline: "SimStats") -> float:
+        """Execution-time speedup of this run relative to ``baseline``.
+
+        Both runs must have executed the same instruction window; the
+        speedup is then the cycle-count ratio, as in the paper's
+        figures (1.0 = no change, 1.29 = 29% faster).
+        """
+        if self.instructions != baseline.instructions:
+            raise ValueError(
+                "speedup requires identical instruction windows "
+                f"({self.instructions} vs {baseline.instructions})"
+            )
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    @property
+    def svf_fast_fraction(self) -> float:
+        """Fraction of SVF references morphed in the front-end (Fig 8)."""
+        total = (
+            self.svf_fast_loads + self.svf_fast_stores + self.svf_rerouted
+        )
+        if total == 0:
+            return 0.0
+        return (self.svf_fast_loads + self.svf_fast_stores) / total

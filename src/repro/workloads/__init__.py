@@ -1,0 +1,42 @@
+"""SPECint2000-inspired workload suite (paper Table 1)."""
+
+from repro.workloads import (  # noqa: F401  (registry imports these)
+    bzip2,
+    crafty,
+    eon,
+    gap,
+    gcc,
+    gzip,
+    mcf,
+    parser,
+    perlbmk,
+    twolf,
+    vortex,
+    vpr,
+    x86mix,
+)
+from repro.workloads.registry import (
+    BENCHMARK_ORDER,
+    TABLE1_INPUTS,
+    Workload,
+    all_inputs,
+    all_workloads,
+    benchmark_names,
+    cached_trace,
+    clear_trace_cache,
+    input_names,
+    workload,
+)
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "TABLE1_INPUTS",
+    "Workload",
+    "all_inputs",
+    "all_workloads",
+    "benchmark_names",
+    "cached_trace",
+    "clear_trace_cache",
+    "input_names",
+    "workload",
+]

@@ -1,0 +1,27 @@
+"""Shared MiniC snippets and helpers for the workload programs.
+
+Every workload embeds a deterministic LCG so its "input data" is
+generated at run time inside the program itself.  That reproduces the
+shape of real benchmark runs — an initialization phase followed by a
+stable compute phase — which is exactly what the paper's Figure 2
+stack-depth curves show.
+"""
+
+from __future__ import annotations
+
+#: MiniC pseudo-random number generator (POSIX LCG constants).  Seeded
+#: per input set so different inputs produce different data, like the
+#: SPEC reference/training inputs do.
+RAND_SNIPPET = """
+int __rng_state = {seed};
+
+int rand31() {{
+    __rng_state = (__rng_state * 1103515245 + 12345) & 2147483647;
+    return __rng_state;
+}}
+"""
+
+
+def rand_source(seed: int) -> str:
+    """Return the LCG helper with the given seed baked in."""
+    return RAND_SNIPPET.format(seed=seed)

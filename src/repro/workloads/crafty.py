@@ -1,0 +1,103 @@
+"""186.crafty — game-tree search (alpha-beta minimax).
+
+Models the chess engine's search core: deep recursive alpha-beta with a
+static evaluation leaf, a small transposition table, and move
+generation arithmetic.  Call-depth-driven stack growth makes this the
+canonical "active stack region" workload (the paper singles crafty out
+in Figure 2: a representative active region of about 400 64-bit units).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int transposition[256];
+int nodes_visited = 0;
+
+int evaluate(int state) {{
+    int material = (state & 1023) - ((state >> 10) & 1023);
+    int mobility = (state >> 3) & 63;
+    int king_safety = (state >> 9) & 31;
+    return material + mobility * 4 - king_safety * 2;
+}}
+
+int next_state(int state, int move) {{
+    int mixed = state * 6364136223846793005 + move * 1442695040888963407;
+    return (mixed >> 17) & 1048575;
+}}
+
+int alphabeta(int state, int depth, int alpha, int beta) {{
+    // Per-node move list and history table kept in the frame, like
+    // crafty's search state: ~650 B frames times the call depth give
+    // the paper's ~400 64-bit-unit active stack region (Figure 2),
+    // whose span exceeds 2 KB but fits 4 KB (Table 3).
+    int move_list[48];
+    nodes_visited += 1;
+    if (depth == 0) {{
+        return evaluate(state);
+    }}
+{unrolled_init}
+    int slot = state & 255;
+    int cached = transposition[slot];
+    if (cached != 0 && (cached & 15) == depth) {{
+        return cached >> 4;
+    }}
+    int best = -1000000;
+    int moves = {branching};
+    for (int move = 0; move < moves; move += 1) {{
+        int child = (move_list[move * 5 + 1] >> 7) & 1048575;
+        int score = -alphabeta(child, depth - 1, -beta, -alpha);
+        if (score > best) {{
+            best = score;
+        }}
+        if (best > alpha) {{
+            alpha = best;
+        }}
+        if (alpha >= beta) {{
+            break;
+        }}
+    }}
+    transposition[slot] = (best << 4) | (depth & 15);
+    return best;
+}}
+
+int main() {{
+    int total = 0;
+    for (int game = 0; game < {positions}; game += 1) {{
+        int root = rand31() & 1048575;
+        total += alphabeta(root, {depth}, -1000000, 1000000);
+    }}
+    print(total);
+    print(nodes_visited);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    positions: int = 3,
+    depth: int = 9,
+    branching: int = 3,
+    seed: int = 186,
+    unrolled: int = 24,
+) -> str:
+    """Build the crafty workload (``depth`` drives stack call depth).
+
+    The per-node table init is unrolled with constant indices, so the
+    compiler folds it into ``$sp``-relative stores — like the Compaq
+    compiler does for crafty's fixed-size search state.
+    """
+    init_lines = "\n".join(
+        f"    move_list[{m}] = state + {m} * 2654435761;"
+        for m in range(unrolled)
+    )
+    return rand_source(seed) + _TEMPLATE.format(
+        positions=positions,
+        depth=depth,
+        branching=branching,
+        unrolled_init=init_lines,
+    )
+
+
+INPUTS = {"ref": dict(seed=186)}

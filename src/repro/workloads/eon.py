@@ -1,0 +1,179 @@
+"""252.eon — probabilistic ray tracer (fixed-point vector math).
+
+Models eon's distinguishing trait from the paper: it is the one
+SPECint2000 benchmark where general-purpose-register stack accesses
+dominate (over 45% of its stack accesses).  Small vector-math helpers
+receive *pointers to the caller's stack-allocated vectors and scalars*
+(out-parameters), so callees store through ``$gpr`` into the caller's
+frame and the caller immediately reloads the same slots ``$sp``-
+relative — the exact store-through-gpr / load-through-sp collision
+pattern that causes SVF load squashes (Section 3.2, Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int spheres[{sphere_words}];
+int hit_count = 0;
+
+int dot3(int *a, int *b) {{
+    return (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) >> 8;
+}}
+
+int scale_add(int *out, int *base, int *direction, int t) {{
+    out[0] = base[0] + ((direction[0] * t) >> 8);
+    out[1] = base[1] + ((direction[1] * t) >> 8);
+    out[2] = base[2] + ((direction[2] * t) >> 8);
+    return 0;
+}}
+
+int intersect_sphere(int *ray, int sphere_index, int *t_out) {{
+    int center[3];
+    center[0] = spheres[sphere_index * 4];
+    center[1] = spheres[sphere_index * 4 + 1];
+    center[2] = spheres[sphere_index * 4 + 2];
+    int radius = spheres[sphere_index * 4 + 3];
+    int oc[3];
+    oc[0] = ray[0] - center[0];
+    oc[1] = ray[1] - center[1];
+    oc[2] = ray[2] - center[2];
+    int dir[3];
+    dir[0] = ray[3];
+    dir[1] = ray[4];
+    dir[2] = ray[5];
+    int b = dot3(&oc[0], &dir[0]);
+    int c = dot3(&oc[0], &oc[0]) - ((radius * radius) >> 8);
+    int disc = ((b * b) >> 8) - c;
+    if (disc < 0) {{
+        return 0;
+    }}
+    int root = disc >> 1;
+    int guess = disc;
+    while (guess * guess > disc * 256 && guess > 1) {{
+        guess = (guess + (disc * 256) / guess) >> 1;
+    }}
+    root = guess;
+    t_out[0] = -b - root;
+    if (t_out[0] < 0) {{
+        return 0;
+    }}
+    return 1;
+}}
+
+int shade(int *point, int *normal, int material) {{
+    int light[3];
+    light[0] = 256;
+    light[1] = 256;
+    light[2] = 128;
+    int diffuse = dot3(normal, &light[0]);
+    if (diffuse < 0) {{
+        diffuse = 0;
+    }}
+    int ambient = (material & 63) + 8;
+    return ambient + ((diffuse * (material & 255)) >> 8);
+}}
+
+int trace_ray(int ox, int oy, int dx, int dy, int dz, int bounce) {{
+    // Per-ray sample buffer: eon's recursive rays carry fat frames,
+    // producing the deep stack oscillation behind its Table 3 traffic.
+    int samples[64];
+    for (int s = 0; s < 64; s += 4) {{
+        samples[s] = ox + s * dy;
+    }}
+    int ray[6];
+    ray[0] = ox;
+    ray[1] = oy;
+    ray[2] = 0;
+    ray[3] = dx;
+    ray[4] = dy;
+    ray[5] = dz;
+    int nearest_t = 1000000000;
+    int nearest_sphere = -1;
+    for (int s = 0; s < {spheres}; s += 1) {{
+        int t = 0;
+        if (intersect_sphere(&ray[0], s, &t) != 0) {{
+            if (t < nearest_t) {{
+                nearest_t = t;
+                nearest_sphere = s;
+            }}
+        }}
+    }}
+    if (nearest_sphere < 0) {{
+        int env = {background};
+        if (bounce > 0) {{
+            // Environment sampling: scatter a continuation ray, so the
+            // ray tree always reaches its full depth.
+            env += trace_ray(ox + dx, oy + dy, dy, -dx, dz, bounce - 1) >> 3;
+        }}
+        return env + (samples[(env & 31) + 8] & 3);
+    }}
+    hit_count += 1;
+    int point[3];
+    int origin[3];
+    origin[0] = ox;
+    origin[1] = oy;
+    origin[2] = 0;
+    int direction[3];
+    direction[0] = dx;
+    direction[1] = dy;
+    direction[2] = dz;
+    scale_add(&point[0], &origin[0], &direction[0], nearest_t);
+    int normal[3];
+    normal[0] = point[0] - spheres[nearest_sphere * 4];
+    normal[1] = point[1] - spheres[nearest_sphere * 4 + 1];
+    normal[2] = point[2] - spheres[nearest_sphere * 4 + 2];
+    int color = shade(&point[0], &normal[0], spheres[nearest_sphere * 4 + 3]);
+    if (bounce > 0) {{
+        color += trace_ray(point[0], point[1], -dx, dy, -dz, bounce - 1) >> 2;
+    }}
+    color += samples[(color & 31) + 4] & 3;
+    return color;
+}}
+
+int main() {{
+    for (int s = 0; s < {spheres}; s += 1) {{
+        spheres[s * 4] = (rand31() & 1023) - 512;
+        spheres[s * 4 + 1] = (rand31() & 1023) - 512;
+        spheres[s * 4 + 2] = 256 + (rand31() & 511);
+        spheres[s * 4 + 3] = 64 + (rand31() & 127);
+    }}
+    int image_checksum = 0;
+    for (int y = 0; y < {height}; y += 1) {{
+        for (int x = 0; x < {width}; x += 1) {{
+            int dx = (x * 512) / {width} - 256;
+            int dy = (y * 512) / {height} - 256;
+            image_checksum += trace_ray(dx, dy, dx, dy, 256, {bounces});
+        }}
+    }}
+    print(image_checksum);
+    print(hit_count);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    width: int = 12,
+    height: int = 10,
+    spheres: int = 6,
+    bounces: int = 1,
+    seed: int = 252,
+    background: int = 16,
+) -> str:
+    """Build the eon workload (cook = direct lighting, kajiya = bounced)."""
+    return rand_source(seed) + _TEMPLATE.format(
+        width=width,
+        height=height,
+        spheres=spheres,
+        sphere_words=4 * spheres,
+        bounces=bounces,
+        background=background,
+    )
+
+
+INPUTS = {
+    "cook": dict(seed=252, bounces=2, background=16),
+    "kajiya": dict(seed=90125, bounces=7, background=8, width=10, height=8),
+}

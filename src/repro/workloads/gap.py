@@ -1,0 +1,114 @@
+"""254.gap — computational group theory (permutation arithmetic).
+
+Models GAP's workload shape: heap-allocated permutation vectors that
+are repeatedly composed, inverted and tested for orbits.  Heavy heap
+traffic with a moderate call structure, so stack traffic comes mostly
+from argument spills and loop locals.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int orbit_sizes[{degree}];
+
+int make_random_perm(int degree) {{
+    int *perm = alloc(degree);
+    for (int i = 0; i < degree; i += 1) {{
+        perm[i] = i;
+    }}
+    for (int i = degree - 1; i > 0; i -= 1) {{
+        int j = rand31() % (i + 1);
+        int tmp = perm[i];
+        perm[i] = perm[j];
+        perm[j] = tmp;
+    }}
+    return perm;
+}}
+
+int compose(int *result, int *left, int *right, int degree) {{
+    for (int i = 0; i < degree; i += 1) {{
+        result[i] = left[right[i]];
+    }}
+    return 0;
+}}
+
+int invert(int *result, int *perm, int degree) {{
+    for (int i = 0; i < degree; i += 1) {{
+        result[perm[i]] = i;
+    }}
+    return 0;
+}}
+
+int orbit_size(int *perm, int start, int degree) {{
+    int size = 1;
+    int position = perm[start];
+    while (position != start) {{
+        position = perm[position];
+        size += 1;
+    }}
+    return size;
+}}
+
+int order_estimate(int *perm, int degree) {{
+    int seen[{degree}];
+    for (int i = 0; i < degree; i += 1) {{
+        seen[i] = 0;
+    }}
+    int lcm_estimate = 1;
+    for (int i = 0; i < degree; i += 1) {{
+        if (seen[i] != 0) {{
+            continue;
+        }}
+        seen[i] = 1;
+        int size = orbit_size(perm, i, degree);
+        orbit_sizes[i] = size;
+        int walker = perm[i];
+        while (walker != i) {{
+            seen[walker] = 1;
+            walker = perm[walker];
+        }}
+        if (lcm_estimate % size != 0) {{
+            lcm_estimate = lcm_estimate * size;
+            if (lcm_estimate > 1000000000) {{
+                lcm_estimate = lcm_estimate % 1000000007;
+            }}
+        }}
+    }}
+    return lcm_estimate;
+}}
+
+int main() {{
+    int degree = {degree};
+    int *generator_a = make_random_perm(degree);
+    int *generator_b = make_random_perm(degree);
+    int *work = alloc(degree);
+    int *inverse = alloc(degree);
+    int *scratch = alloc(degree);
+    int checksum = 0;
+    for (int round = 0; round < {rounds}; round += 1) {{
+        compose(work, generator_a, generator_b, degree);
+        invert(inverse, work, degree);
+        compose(generator_a, work, inverse, degree);
+        checksum += order_estimate(generator_a, degree);
+        // Compose into a scratch buffer: composing in place would
+        // read partially overwritten values and corrupt the
+        // permutation.
+        compose(scratch, generator_b, work, degree);
+        for (int i = 0; i < degree; i += 1) {{
+            generator_b[i] = scratch[i];
+        }}
+    }}
+    print(checksum);
+    return 0;
+}}
+"""
+
+
+def make_source(degree: int = 48, rounds: int = 22, seed: int = 254) -> str:
+    """Build the gap workload."""
+    return rand_source(seed) + _TEMPLATE.format(degree=degree, rounds=rounds)
+
+
+INPUTS = {"ref": dict(seed=254)}

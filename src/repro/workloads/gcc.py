@@ -1,0 +1,118 @@
+"""176.gcc — optimizing compiler (expression trees + recursive passes).
+
+Models the compiler's shape: heap-allocated IR trees walked by deeply
+recursive passes whose frames carry *large local buffers*.  The paper
+reports gcc has the largest average reference distance from TOS (380
+bytes) and is the only benchmark with meaningful SVF traffic left at
+8 KB — both consequences of big frames and deep recursion, reproduced
+here with per-frame scratch tables in the recursive folder.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+# IR node layout: [opcode, left, right, value]
+_TEMPLATE = """
+int fold_count = 0;
+
+int build_tree(int depth, int entropy) {{
+    int *node = alloc(4);
+    if (depth == 0) {{
+        node[0] = 0;
+        node[1] = 0;
+        node[2] = 0;
+        node[3] = entropy & 255;
+        return node;
+    }}
+    node[0] = 1 + (entropy % 4);
+    node[1] = build_tree(depth - 1, entropy * 2654435761 + 1);
+    node[2] = build_tree(depth - 1, entropy * 40503 + 7);
+    node[3] = 0;
+    return node;
+}}
+
+int fold(int *node) {{
+    int scratch[{frame_buffer}];
+    fold_count += 1;
+    int opcode = node[0];
+    if (opcode == 0) {{
+        return node[3];
+    }}
+    int left = fold(node[1]);
+    int right = fold(node[2]);
+    for (int i = 0; i < {frame_touch}; i += 1) {{
+        scratch[i] = left + i * right;
+    }}
+    int acc = 0;
+    for (int i = 0; i < {frame_touch}; i += 1) {{
+        acc ^= scratch[i];
+    }}
+    int result = 0;
+    if (opcode == 1) {{
+        result = left + right;
+    }}
+    if (opcode == 2) {{
+        result = left - right;
+    }}
+    if (opcode == 3) {{
+        result = left * right;
+    }}
+    if (opcode == 4) {{
+        if (right == 0) {{
+            right = 1;
+        }}
+        result = left / right;
+    }}
+    node[3] = result;
+    node[0] = 0;
+    return result + (acc & 15);
+}}
+
+int count_leaves(int *node) {{
+    if (node[0] == 0) {{
+        return 1;
+    }}
+    return count_leaves(node[1]) + count_leaves(node[2]);
+}}
+
+int main() {{
+    int total = 0;
+    int leaves = 0;
+    for (int unit = 0; unit < {units}; unit += 1) {{
+        int *tree = build_tree({depth}, rand31());
+        leaves += count_leaves(tree);
+        total += fold(tree);
+    }}
+    print(total);
+    print(leaves);
+    print(fold_count);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    units: int = 6,
+    depth: int = 7,
+    frame_buffer: int = 48,
+    frame_touch: int = 12,
+    seed: int = 176,
+) -> str:
+    """Build the gcc workload.
+
+    ``frame_buffer`` sets the per-frame scratch array (large frames are
+    what push gcc's references far from the TOS).
+    """
+    return rand_source(seed) + _TEMPLATE.format(
+        units=units,
+        depth=depth,
+        frame_buffer=frame_buffer,
+        frame_touch=min(frame_touch, frame_buffer),
+    )
+
+
+INPUTS = {
+    "cp-decl": dict(seed=176, depth=8, units=3, frame_buffer=84, frame_touch=8),
+    "integrate": dict(seed=55176, depth=9, units=4, frame_buffer=96, frame_touch=8),
+}

@@ -1,0 +1,125 @@
+"""164.gzip — LZ77 sliding-window compression with hash chains.
+
+Models deflate's match finder: a flat, loop-dominated kernel over
+global window/hash arrays with almost no call depth.  The paper's
+Table 3 shows gzip generating essentially zero stack traffic at any
+SVF/stack-cache size — the frame fits trivially — which this program
+reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int window[{window}];
+int hash_head[{hash_size}];
+int chain_prev[{window}];
+
+int fill_window(int kind) {{
+    for (int i = 0; i < {window}; i += 1) {{
+        int r = rand31();
+        int byte = r & 255;
+        if (kind == 1) {{
+            byte = (r >> 3) & 31;
+        }}
+        if (kind == 2) {{
+            if ((r & 15) < 11 && i > 4) {{
+                byte = window[i - 4];
+            }}
+        }}
+        window[i] = byte;
+    }}
+    return 0;
+}}
+
+int hash3(int position) {{
+    int h = window[position] * 31 + window[position + 1];
+    h = h * 31 + window[position + 2];
+    return h & {hash_mask};
+}}
+
+int longest_match(int position, int candidate, int limit) {{
+    int length = 0;
+    while (length < limit
+           && window[position + length] == window[candidate + length]) {{
+        length += 1;
+    }}
+    return length;
+}}
+
+int deflate_pass() {{
+    for (int i = 0; i < {hash_size}; i += 1) {{
+        hash_head[i] = -1;
+    }}
+    int literals = 0;
+    int matches = 0;
+    int match_bytes = 0;
+    int position = 0;
+    while (position + 8 < {window}) {{
+        int h = hash3(position);
+        int candidate = hash_head[h];
+        int best = 0;
+        int chain = 0;
+        while (candidate >= 0 && chain < {max_chain}) {{
+            int limit = {window} - position - 1;
+            if (limit > 16) {{
+                limit = 16;
+            }}
+            int length = longest_match(position, candidate, limit);
+            if (length > best) {{
+                best = length;
+            }}
+            candidate = chain_prev[candidate];
+            chain += 1;
+        }}
+        chain_prev[position] = hash_head[h];
+        hash_head[h] = position;
+        if (best >= 3) {{
+            matches += 1;
+            match_bytes += best;
+            position += best;
+        }} else {{
+            literals += 1;
+            position += 1;
+        }}
+    }}
+    return literals * 8 + matches * 20 + match_bytes;
+}}
+
+int main() {{
+    int checksum = 0;
+    for (int pass_id = 0; pass_id < {passes}; pass_id += 1) {{
+        fill_window({kind});
+        checksum += deflate_pass();
+    }}
+    print(checksum);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    window: int = 512,
+    hash_size: int = 64,
+    max_chain: int = 8,
+    passes: int = 3,
+    kind: int = 0,
+    seed: int = 164,
+) -> str:
+    """Build the gzip workload (``kind``: 0=random, 1=graphic, 2=log)."""
+    return rand_source(seed) + _TEMPLATE.format(
+        window=window,
+        hash_size=hash_size,
+        hash_mask=hash_size - 1,
+        max_chain=max_chain,
+        passes=passes,
+        kind=kind,
+    )
+
+
+INPUTS = {
+    "graphic": dict(kind=1, seed=164),
+    "log": dict(kind=2, seed=41064),
+    "program": dict(kind=0, seed=90164),
+}

@@ -1,0 +1,152 @@
+"""197.parser — natural-language link parser (recursive descent).
+
+Models the parser's shape: a tokenizer filling a global token buffer
+followed by mutually recursive parse functions whose depth follows the
+nesting of the input.  Recursion-driven stack activity with small
+frames.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+# Token codes: 0=end, 1=number, 2='+', 3='*', 4='(', 5=')', 6='-'
+_TEMPLATE = """
+int tokens[{buffer}];
+int token_count = 0;
+int cursor = 0;
+int parse_errors = 0;
+
+int emit_token(int code) {{
+    if (token_count < {buffer}) {{
+        tokens[token_count] = code;
+        token_count += 1;
+    }}
+    return code;
+}}
+
+int gen_expression(int depth) {{
+    if (depth <= 0 || ((rand31() & 7) < 3 && depth < {min_depth})) {{
+        emit_token(1);
+        return 1;
+    }}
+    int shape = rand31() & 3;
+    if (shape == 0) {{
+        emit_token(4);
+        gen_expression(depth - 1);
+        emit_token(5);
+        return 1;
+    }}
+    // Parenthesize every compound expression so parse nesting tracks
+    // generation depth (link-parser sentences nest deeply).
+    emit_token(4);
+    gen_expression(depth - 1);
+    if (shape == 1) {{
+        emit_token(2);
+    }}
+    if (shape == 2) {{
+        emit_token(3);
+    }}
+    if (shape == 3) {{
+        emit_token(6);
+    }}
+    gen_expression(depth - 1);
+    emit_token(5);
+    return 2;
+}}
+
+int peek() {{
+    if (cursor >= token_count) {{
+        return 0;
+    }}
+    return tokens[cursor];
+}}
+
+int advance() {{
+    int token = peek();
+    cursor += 1;
+    return token;
+}}
+
+int parse_factor() {{
+    int token = advance();
+    if (token == 1) {{
+        return 1 + (rand31() & 7);
+    }}
+    if (token == 4) {{
+        int value = parse_expr();
+        if (peek() == 5) {{
+            advance();
+        }} else {{
+            parse_errors += 1;
+        }}
+        return value;
+    }}
+    parse_errors += 1;
+    return 0;
+}}
+
+int parse_term() {{
+    // Candidate-linkage buffer per nesting level, like the link
+    // parser's per-level connector lists: widens each parse frame.
+    int partial[24];
+    int count = 0;
+    partial[0] = parse_factor();
+    count = 1;
+    while (peek() == 3 && count < 24) {{
+        advance();
+        partial[count] = parse_factor();
+        count += 1;
+    }}
+    int value = 1;
+    for (int i = 0; i < count; i += 1) {{
+        value = (value * partial[i]) & 65535;
+    }}
+    return value;
+}}
+
+int parse_expr() {{
+    int value = parse_term();
+    while (peek() == 2 || peek() == 6) {{
+        int op = advance();
+        int rhs = parse_term();
+        if (op == 2) {{
+            value = value + rhs;
+        }} else {{
+            value = value - rhs;
+        }}
+    }}
+    return value;
+}}
+
+int main() {{
+    int checksum = 0;
+    for (int sentence = 0; sentence < {sentences}; sentence += 1) {{
+        token_count = 0;
+        cursor = 0;
+        gen_expression({depth});
+        emit_token(0);
+        checksum += parse_expr();
+    }}
+    print(checksum);
+    print(parse_errors);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    sentences: int = 8,
+    depth: int = 11,
+    buffer: int = 1024,
+    min_depth: int = 6,
+    seed: int = 197,
+) -> str:
+    """Build the parser workload (``depth``/``min_depth`` set nesting)."""
+    return rand_source(seed) + _TEMPLATE.format(
+        sentences=sentences, depth=depth, buffer=buffer,
+        min_depth=min(min_depth, depth),
+    )
+
+
+INPUTS = {"ref": dict(seed=197)}

@@ -1,0 +1,165 @@
+"""253.perlbmk — scripting-language interpreter (bytecode VM).
+
+Models the Perl interpreter's dispatch loop: a bytecode program runs on
+a VM whose *operand stack lives in the interpreter frame* as a large
+local array.  The VM stack is accessed through computed addresses and
+the interpreter's own locals are ``$sp``-relative, giving the large,
+frequently written stack working set behind the paper's perlbmk
+anomaly (its working set fits the 64 KB L1 but not an 8 KB stack
+cache, Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+# Opcodes: 0=halt 1=push 2=add 3=sub 4=mul 5=dup 6=swap 7=jgtz 8=call 9=mod
+_TEMPLATE = """
+int code[{code_size}];
+int code_length = 0;
+int dispatch_count = 0;
+
+int emit(int op, int operand) {{
+    code[code_length] = op;
+    code[code_length + 1] = operand;
+    code_length += 2;
+    return code_length;
+}}
+
+int native_helper(int x) {{
+    int local_table[8];
+    for (int i = 0; i < 8; i += 1) {{
+        local_table[i] = x * (i + 3);
+    }}
+    int acc = 0;
+    for (int i = 0; i < 8; i += 1) {{
+        acc ^= local_table[i];
+    }}
+    return acc & 1023;
+}}
+
+int interpret() {{
+    int vm_stack[{vm_stack}];
+    // Scrub the operand stack before each script, like the
+    // interpreter's mark-stack initialization: the whole 8 KB frame
+    // is written every invocation, so the active stack working set
+    // exceeds any stack-cache capacity (the paper's perlbmk anomaly)
+    // and dirties words that each native call pushes out of the SVF
+    // window (its Table 3 out-traffic).
+    for (int i = 0; i < {vm_stack}; i += 1) {{
+        vm_stack[i] = i ^ code_length;
+    }}
+    int sp_index = 0;
+    int pc = 0;
+    int result = 0;
+    while (pc < code_length) {{
+        int op = code[pc];
+        int operand = code[pc + 1];
+        pc += 2;
+        dispatch_count += 1;
+        if (op == 0) {{
+            break;
+        }}
+        if (op == 1) {{
+            vm_stack[sp_index] = operand;
+            sp_index += 1;
+        }}
+        if (op == 2 && sp_index >= 2) {{
+            vm_stack[sp_index - 2] = vm_stack[sp_index - 2] + vm_stack[sp_index - 1];
+            sp_index -= 1;
+        }}
+        if (op == 3 && sp_index >= 2) {{
+            vm_stack[sp_index - 2] = vm_stack[sp_index - 2] - vm_stack[sp_index - 1];
+            sp_index -= 1;
+        }}
+        if (op == 4 && sp_index >= 2) {{
+            vm_stack[sp_index - 2] = (vm_stack[sp_index - 2] * vm_stack[sp_index - 1]) & 1048575;
+            sp_index -= 1;
+        }}
+        if (op == 5 && sp_index >= 1 && sp_index < {vm_stack}) {{
+            vm_stack[sp_index] = vm_stack[sp_index - 1];
+            sp_index += 1;
+        }}
+        if (op == 6 && sp_index >= 2) {{
+            int tmp = vm_stack[sp_index - 1];
+            vm_stack[sp_index - 1] = vm_stack[sp_index - 2];
+            vm_stack[sp_index - 2] = tmp;
+        }}
+        if (op == 7 && sp_index >= 1) {{
+            sp_index -= 1;
+            if (vm_stack[sp_index] > 0 && operand < code_length) {{
+                pc = operand;
+            }}
+        }}
+        if (op == 8 && sp_index >= 1) {{
+            vm_stack[sp_index - 1] = native_helper(vm_stack[sp_index - 1]);
+        }}
+        if (op == 9 && sp_index >= 2) {{
+            int divisor = vm_stack[sp_index - 1];
+            if (divisor == 0) {{
+                divisor = 1;
+            }}
+            vm_stack[sp_index - 2] = vm_stack[sp_index - 2] % divisor;
+            sp_index -= 1;
+        }}
+        if (sp_index >= {vm_stack}) {{
+            sp_index = {vm_stack} - 1;
+        }}
+    }}
+    if (sp_index > 0) {{
+        result = vm_stack[sp_index - 1];
+    }}
+    return result;
+}}
+
+int generate_script(int flavor) {{
+    code_length = 0;
+    emit(1, 7 + flavor);
+    emit(1, {loop_count});
+    // loop body: duplicate counter, do arithmetic, decrement, loop
+    int loop_start = code_length;
+    emit(5, 0);
+    emit(8, 0);
+    emit(1, 3);
+    emit(4, 0);
+    emit(1, 17);
+    emit(9, 0);
+    emit(3, 0);
+    emit(1, 1);
+    emit(3, 0);
+    emit(5, 0);
+    emit(7, loop_start);
+    emit(0, 0);
+    return code_length;
+}}
+
+int main() {{
+    int checksum = 0;
+    for (int script = 0; script < {scripts}; script += 1) {{
+        generate_script(rand31() & 7);
+        checksum += interpret();
+    }}
+    print(checksum);
+    print(dispatch_count);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    scripts: int = 16,
+    loop_count: int = 60,
+    vm_stack: int = 2048,
+    code_size: int = 128,
+    seed: int = 253,
+) -> str:
+    """Build the perlbmk workload (``vm_stack`` sets frame size)."""
+    return rand_source(seed) + _TEMPLATE.format(
+        scripts=scripts,
+        loop_count=loop_count,
+        vm_stack=vm_stack,
+        code_size=code_size,
+    )
+
+
+INPUTS = {"scrabbl": dict(seed=253)}

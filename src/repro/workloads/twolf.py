@@ -1,0 +1,114 @@
+"""300.twolf — standard-cell placement (simulated annealing).
+
+Models TimberWolf's inner loop: propose a swap of two cells, recompute
+the wirelength through per-net cost helpers into a frame-resident cost
+table, and accept/reject against a cooling threshold.  The per-pass
+cost table pushes the stack oscillation past 2 KB (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int cell_x[{cells}];
+int cell_y[{cells}];
+int net_a[{nets}];
+int net_b[{nets}];
+int accepted = 0;
+
+int wire_cost(int net) {{
+    int a = net_a[net];
+    int b = net_b[net];
+    int dx = cell_x[a] - cell_x[b];
+    int dy = cell_y[a] - cell_y[b];
+    if (dx < 0) {{
+        dx = -dx;
+    }}
+    if (dy < 0) {{
+        dy = -dy;
+    }}
+    return dx + dy;
+}}
+
+int total_cost() {{
+    // Per-pass net-cost scratch, like TimberWolf's per-iteration cost
+    // tables: pushes the stack oscillation past 2 KB.
+    int per_net[{nets}];
+    int total = 0;
+    for (int net = 0; net < {nets}; net += 1) {{
+        int cost = wire_cost(net);
+        per_net[net] = cost;
+        total += cost;
+    }}
+    int worst = 0;
+    for (int net = 0; net < {nets}; net += 1) {{
+        if (per_net[net] > worst) {{
+            worst = per_net[net];
+        }}
+    }}
+    return total + (worst & 1);
+}}
+
+int swap_cells(int a, int b) {{
+    int tx = cell_x[a];
+    int ty = cell_y[a];
+    cell_x[a] = cell_x[b];
+    cell_y[a] = cell_y[b];
+    cell_x[b] = tx;
+    cell_y[b] = ty;
+    return 0;
+}}
+
+int anneal_step(int temperature) {{
+    int a = rand31() % {cells};
+    int b = rand31() % {cells};
+    if (a == b) {{
+        return 0;
+    }}
+    int before = total_cost();
+    swap_cells(a, b);
+    int after = total_cost();
+    int delta = after - before;
+    if (delta <= 0 || (rand31() & 1023) < temperature) {{
+        accepted += 1;
+        return 1;
+    }}
+    swap_cells(a, b);
+    return 0;
+}}
+
+int main() {{
+    for (int c = 0; c < {cells}; c += 1) {{
+        cell_x[c] = rand31() & 255;
+        cell_y[c] = rand31() & 255;
+    }}
+    for (int net = 0; net < {nets}; net += 1) {{
+        net_a[net] = rand31() % {cells};
+        net_b[net] = rand31() % {cells};
+    }}
+    int temperature = 600;
+    for (int step = 0; step < {steps}; step += 1) {{
+        anneal_step(temperature);
+        if (temperature > 10) {{
+            temperature -= {cooling};
+        }}
+    }}
+    print(total_cost());
+    print(accepted);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    cells: int = 40, nets: int = 260, steps: int = 20, cooling: int = 24,
+    seed: int = 300,
+) -> str:
+    """Build the twolf workload."""
+    return rand_source(seed) + _TEMPLATE.format(
+        cells=cells, nets=nets, steps=steps, cooling=cooling
+    )
+
+
+INPUTS = {"ref": dict(seed=300)}

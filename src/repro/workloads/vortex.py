@@ -1,0 +1,107 @@
+"""255.vortex — object-oriented database (hashed record store).
+
+Models vortex's transaction mix: insert/lookup/delete of heap-allocated
+records through a hash index, with field validation helpers.  Heap
+dominated, flat call graph with small frames.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+# Record layout: [key, field_a, field_b, next_ptr]
+_TEMPLATE = """
+int buckets[{buckets}];
+int live_records = 0;
+
+int hash_key(int key) {{
+    int h = key * 2654435761;
+    return (h >> 8) & {bucket_mask};
+}}
+
+int record_checksum(int *record) {{
+    return (record[0] * 31 + record[1]) ^ record[2];
+}}
+
+int insert_record(int key, int a, int b) {{
+    int *record = alloc(4);
+    record[0] = key;
+    record[1] = a;
+    record[2] = b;
+    int h = hash_key(key);
+    record[3] = buckets[h];
+    buckets[h] = record;
+    live_records += 1;
+    return record_checksum(record);
+}}
+
+int lookup_record(int key) {{
+    int h = hash_key(key);
+    int *record = buckets[h];
+    while (record != 0) {{
+        if (record[0] == key) {{
+            return record_checksum(record);
+        }}
+        record = record[3];
+    }}
+    return 0;
+}}
+
+int delete_record(int key) {{
+    int h = hash_key(key);
+    int *record = buckets[h];
+    int *previous = 0;
+    while (record != 0) {{
+        if (record[0] == key) {{
+            if (previous == 0) {{
+                buckets[h] = record[3];
+            }} else {{
+                previous[3] = record[3];
+            }}
+            live_records -= 1;
+            return 1;
+        }}
+        previous = record;
+        record = record[3];
+    }}
+    return 0;
+}}
+
+int main() {{
+    int checksum = 0;
+    for (int txn = 0; txn < {transactions}; txn += 1) {{
+        int action = rand31() % 10;
+        int key = rand31() % {key_space};
+        if (action < 5) {{
+            checksum += insert_record(key, rand31() & 65535, txn);
+        }} else {{
+            if (action < 8) {{
+                checksum += lookup_record(key);
+            }} else {{
+                checksum += delete_record(key);
+            }}
+        }}
+    }}
+    print(checksum & 268435455);
+    print(live_records);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    transactions: int = 1200,
+    buckets: int = 64,
+    key_space: int = 128,
+    seed: int = 255,
+) -> str:
+    """Build the vortex workload."""
+    return rand_source(seed) + _TEMPLATE.format(
+        transactions=transactions,
+        buckets=buckets,
+        bucket_mask=buckets - 1,
+        key_space=key_space,
+    )
+
+
+INPUTS = {"ref": dict(seed=255)}

@@ -1,0 +1,104 @@
+"""175.vpr — FPGA placement and routing (grid breadth-first expansion).
+
+Models VPR's router: wavefront expansion across a routing grid with a
+work queue in the router's frame and cost lookups in global arrays.
+Moderate frames, loop-heavy, light recursion.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int grid_cost[{grid_words}];
+int grid_dist[{grid_words}];
+int routed_nets = 0;
+
+int cell_index(int x, int y) {{
+    return y * {width} + x;
+}}
+
+int route_net(int sx, int sy, int tx, int ty) {{
+    int queue_x[{queue}];
+    int queue_y[{queue}];
+    int head = 0;
+    int tail = 0;
+    for (int i = 0; i < {grid_words}; i += 1) {{
+        grid_dist[i] = 1000000000;
+    }}
+    grid_dist[cell_index(sx, sy)] = 0;
+    queue_x[tail] = sx;
+    queue_y[tail] = sy;
+    tail += 1;
+    while (head < tail) {{
+        int x = queue_x[head];
+        int y = queue_y[head];
+        head += 1;
+        int here = grid_dist[cell_index(x, y)];
+        if (x == tx && y == ty) {{
+            routed_nets += 1;
+            return here;
+        }}
+        for (int direction = 0; direction < 4; direction += 1) {{
+            int nx = x;
+            int ny = y;
+            if (direction == 0) {{ nx = x + 1; }}
+            if (direction == 1) {{ nx = x - 1; }}
+            if (direction == 2) {{ ny = y + 1; }}
+            if (direction == 3) {{ ny = y - 1; }}
+            if (nx >= 0 && nx < {width} && ny >= 0 && ny < {height}) {{
+                int idx = cell_index(nx, ny);
+                int cost = here + grid_cost[idx];
+                if (cost < grid_dist[idx] && tail < {queue}) {{
+                    grid_dist[idx] = cost;
+                    queue_x[tail] = nx;
+                    queue_y[tail] = ny;
+                    tail += 1;
+                }}
+            }}
+        }}
+    }}
+    return -1;
+}}
+
+int main() {{
+    for (int i = 0; i < {grid_words}; i += 1) {{
+        grid_cost[i] = 1 + (rand31() & 7);
+    }}
+    int total_cost = 0;
+    int failures = 0;
+    for (int net = 0; net < {nets}; net += 1) {{
+        int sx = rand31() % {width};
+        int sy = rand31() % {height};
+        int tx = rand31() % {width};
+        int ty = rand31() % {height};
+        int cost = route_net(sx, sy, tx, ty);
+        if (cost < 0) {{
+            failures += 1;
+        }} else {{
+            total_cost += cost;
+        }}
+    }}
+    print(total_cost);
+    print(routed_nets);
+    print(failures);
+    return 0;
+}}
+"""
+
+
+def make_source(
+    width: int = 12, height: int = 12, nets: int = 16, queue: int = 160,
+    seed: int = 175,
+) -> str:
+    """Build the vpr workload."""
+    return rand_source(seed) + _TEMPLATE.format(
+        width=width,
+        height=height,
+        grid_words=width * height,
+        nets=nets,
+        queue=queue,
+    )
+
+
+INPUTS = {"ref": dict(seed=175)}

@@ -1,0 +1,88 @@
+"""x86mix — partial-word stack references (the paper's future work).
+
+Paper Section 7: "Our next research project will be to extend this
+analysis to the x86 architecture with its increased reliance on the
+stack region and its use of partial word references."  This extension
+workload models that reference mix: records packed as two 32-bit
+fields per quad-word in a stack buffer, manipulated with ``ldl``/
+``stl`` partial-word accesses (MiniC's ``load32``/``store32``).
+
+Partial-word stores stress the SVF's granularity semantics: a 32-bit
+store to an *invalid* 64-bit granule must read-merge the word, so the
+no-fill-on-allocate advantage shrinks — quantified by the partial-word
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import rand_source
+
+_TEMPLATE = """
+int records_processed = 0;
+
+int pack_records(int *buffer, int count) {{
+    for (int i = 0; i < count; i += 1) {{
+        int key = rand31() & 65535;
+        int weight = rand31() & 4095;
+        store32(buffer, i * 8, key);
+        store32(buffer, i * 8 + 4, weight);
+    }}
+    return count;
+}}
+
+int weigh_records(int *buffer, int count) {{
+    int total = 0;
+    for (int i = 0; i < count; i += 1) {{
+        int key = load32(buffer, i * 8);
+        int weight = load32(buffer, i * 8 + 4);
+        if ((key & 3) == 0) {{
+            total += weight;
+        }} else {{
+            total += weight >> 2;
+        }}
+        records_processed += 1;
+    }}
+    return total;
+}}
+
+int rebalance(int *buffer, int count) {{
+    // Swap the halves of each quad-word record: pure partial-word
+    // read-modify-write traffic.
+    for (int i = 0; i < count; i += 1) {{
+        int key = load32(buffer, i * 8);
+        int weight = load32(buffer, i * 8 + 4);
+        store32(buffer, i * 8, weight);
+        store32(buffer, i * 8 + 4, key);
+    }}
+    return 0;
+}}
+
+int process_batch(int batch_id) {{
+    int records[{records}];
+    pack_records(&records[0], {records});
+    int before = weigh_records(&records[0], {records});
+    rebalance(&records[0], {records});
+    int after = weigh_records(&records[0], {records});
+    return (before + after) & 16777215;
+}}
+
+int main() {{
+    int checksum = 0;
+    for (int batch = 0; batch < {batches}; batch += 1) {{
+        checksum += process_batch(batch);
+    }}
+    print(checksum);
+    print(records_processed);
+    return 0;
+}}
+"""
+
+
+def make_source(records: int = 96, batches: int = 12, seed: int = 8086) -> str:
+    """Build the x86mix extension workload."""
+    return rand_source(seed) + _TEMPLATE.format(
+        records=records, batches=batches
+    )
+
+
+INPUTS = {"ref": dict(seed=8086)}

@@ -1,0 +1,72 @@
+"""Shared fixtures: small compiled programs and traces.
+
+Session-scoped so the compile/emulate cost is paid once per run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulator import run_program
+from repro.lang import compile_program
+from repro.workloads import workload
+
+RECURSIVE_SOURCE = """
+int depth_reached = 0;
+
+int worker(int n, int *out) {
+    int scratch[6];
+    scratch[0] = n;
+    scratch[1] = n * 3;
+    if (n > depth_reached) {
+        depth_reached = n;
+    }
+    if (n <= 0) {
+        out[0] = scratch[1];
+        return 1;
+    }
+    int below = worker(n - 1, out);
+    return below + scratch[0];
+}
+
+int main() {
+    int result = 0;
+    int total = 0;
+    for (int i = 0; i < 6; i += 1) {
+        total += worker(5, &result);
+    }
+    print(total);
+    print(result);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def recursive_program():
+    """A small recursive program exercising sp/fp/gpr stack accesses."""
+    return compile_program(RECURSIVE_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def recursive_run(recursive_program):
+    """(machine, trace) for the recursive program."""
+    return run_program(recursive_program)
+
+
+@pytest.fixture(scope="session")
+def crafty_trace():
+    """A 30k-instruction crafty trace (deep call stack)."""
+    return workload("crafty").trace(max_instructions=30_000)
+
+
+@pytest.fixture(scope="session")
+def gzip_trace():
+    """A 30k-instruction gzip trace (flat, loop-dominated)."""
+    return workload("gzip").trace(max_instructions=30_000)
+
+
+@pytest.fixture(scope="session")
+def eon_trace():
+    """A 30k-instruction eon trace (gpr-heavy stack accesses)."""
+    return workload("eon").trace(max_instructions=30_000)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_suite(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "256.bzip2" in out and "175.vpr" in out
+        assert "inputs = graphic, program" in out
+
+
+class TestRun:
+    def test_runs_workload(self, capsys):
+        assert main(["run", "gzip", "--max-instructions", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "5,000 instructions" in out
+
+    def test_input_selection(self, capsys):
+        assert main(
+            ["run", "bzip2", "--input", "program",
+             "--max-instructions", "2000"]
+        ) == 0
+        assert "bzip2.program" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "doom"])
+
+
+class TestCharacterize:
+    def test_single_workload(self, capsys):
+        assert main(
+            ["characterize", "gzip", "--max-instructions", "8000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "Figure 3" in out
+
+
+class TestSimulate:
+    def test_baseline_only(self, capsys):
+        assert main(
+            ["simulate", "gzip", "--max-instructions", "6000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "IPC" in out
+
+    def test_with_svf(self, capsys):
+        assert main(
+            ["simulate", "crafty", "--svf", "svf", "--ports", "2",
+             "--max-instructions", "6000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "morphed" in out
+
+    def test_stack_cache_mode(self, capsys):
+        assert main(
+            ["simulate", "gzip", "--svf", "stack_cache",
+             "--max-instructions", "6000"]
+        ) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_width_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gzip", "--width", "7"])
+
+
+class TestCompile:
+    SOURCE = "int main() { print(6 * 7); return 0; }"
+
+    def test_emit_asm(self, tmp_path, capsys):
+        source_file = tmp_path / "answer.mc"
+        source_file.write_text(self.SOURCE)
+        assert main(["compile", str(source_file)]) == 0
+        out = capsys.readouterr().out
+        assert ".text" in out and "bsr main" in out
+
+    def test_emit_run(self, tmp_path, capsys):
+        source_file = tmp_path / "answer.mc"
+        source_file.write_text(self.SOURCE)
+        assert main(["compile", str(source_file), "--emit", "run"]) == 0
+        assert "[42]" in capsys.readouterr().out
+
+
+class TestTraceReplay:
+    def test_record_and_replay(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "gzip.svft")
+        assert main(
+            ["trace", "gzip", trace_file, "--max-instructions", "4000"]
+        ) == 0
+        assert "4,000 records" in capsys.readouterr().out
+        assert main(["replay", trace_file, "--svf", "svf"]) == 0
+        out = capsys.readouterr().out
+        assert "4,000 instructions" in out
+        assert "speedup" in out
+
+
+class TestReport:
+    def test_generates_full_report(self, tmp_path, capsys):
+        output = str(tmp_path / "report.md")
+        assert main(
+            ["report", "--output", output,
+             "--timing-window", "4000", "--functional-window", "4000",
+             "--benchmarks", "gzip"]
+        ) == 0
+        text = open(output).read()
+        for marker in ("Table 1", "Figure 5", "Figure 9", "Table 3",
+                       "First-touch"):
+            assert marker in text, marker
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_static_tables(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        assert main(["experiment", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig12"])

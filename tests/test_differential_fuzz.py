@@ -1,0 +1,95 @@
+"""Property-based differential fuzzing: compiled vs interpreted MiniC.
+
+Hypothesis generates random (but well-formed, terminating) MiniC
+programs; the compiled path and the reference interpreter must print
+identical output for each.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator import run_program
+from repro.lang import compile_program
+from repro.lang.interpreter import interpret
+
+VARS = ("a", "b", "c")
+
+_literal = st.integers(-30, 30).map(str)
+_variable = st.sampled_from(VARS)
+_safe_binop = st.sampled_from(["+", "-", "*", "&", "|", "^", "<", "=="])
+
+
+def _expr(depth):
+    if depth == 0:
+        return st.one_of(_literal, _variable)
+    sub = _expr(depth - 1)
+    binary = st.tuples(sub, _safe_binop, sub).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    shift = st.tuples(sub, st.sampled_from(["<<", ">>"]),
+                      st.integers(0, 5)).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    unary = st.tuples(st.sampled_from(["-", "~", "!"]), sub).map(
+        lambda t: f"({t[0]}{t[1]})"
+    )
+    return st.one_of(sub, binary, shift, unary)
+
+
+def _statement(depth):
+    assign = st.tuples(_variable, _expr(2)).map(
+        lambda t: f"{t[0]} = {t[1]};"
+    )
+    if depth == 0:
+        return assign
+    sub = st.lists(_statement(depth - 1), min_size=1, max_size=3).map(
+        " ".join
+    )
+    if_statement = st.tuples(_expr(1), sub, sub).map(
+        lambda t: f"if ({t[0]}) {{ {t[1]} }} else {{ {t[2]} }}"
+    )
+    # Bounded for loop: always terminates.
+    loop = st.tuples(st.integers(1, 6), sub).map(
+        lambda t:
+        f"for (int i{depth} = 0; i{depth} < {t[0]}; i{depth} += 1) "
+        f"{{ {t[1]} }}"
+    )
+    return st.one_of(assign, if_statement, loop)
+
+
+_program = st.lists(_statement(2), min_size=1, max_size=6).map(
+    lambda statements: (
+        "int main() { int a = 1; int b = 2; int c = 3; "
+        + " ".join(statements)
+        + " print(a); print(b); print(c); return 0; }"
+    )
+)
+
+
+class TestDifferentialFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(_program)
+    def test_compiled_matches_interpreted(self, source):
+        machine, _ = run_program(
+            compile_program(source), max_instructions=2_000_000
+        )
+        assert machine.halted
+        reference = interpret(source, max_steps=5_000_000)
+        assert machine.output == reference.output
+
+    @settings(max_examples=25, deadline=None)
+    @given(_program)
+    def test_codegen_options_do_not_change_output(self, source):
+        from repro.lang import CodegenOptions
+
+        outputs = []
+        for options in (
+            CodegenOptions(),
+            CodegenOptions(promoted_locals=0, fp_frames=False),
+        ):
+            machine, _ = run_program(
+                compile_program(source, options),
+                max_instructions=2_000_000,
+            )
+            assert machine.halted
+            outputs.append(machine.output)
+        assert outputs[0] == outputs[1]

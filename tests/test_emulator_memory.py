@@ -1,0 +1,95 @@
+"""Unit tests for the sparse word-addressed memory."""
+
+import pytest
+
+from repro.emulator.memory import (
+    DATA_BASE,
+    HEAP_BASE,
+    Memory,
+    MemoryError_,
+    STACK_BASE,
+    TEXT_BASE,
+)
+
+
+class TestLayout:
+    def test_regions_are_ordered_and_disjoint(self):
+        assert TEXT_BASE < DATA_BASE < HEAP_BASE < STACK_BASE
+
+    def test_stack_base_is_word_aligned(self):
+        assert STACK_BASE % 8 == 0
+
+
+class TestQuadWordAccess:
+    def test_store_load_round_trip(self):
+        memory = Memory()
+        memory.store(0x1000, 0x1122334455667788, 8)
+        assert memory.load(0x1000, 8) == 0x1122334455667788
+
+    def test_uninitialized_reads_zero(self):
+        assert Memory().load(0x2000, 8) == 0
+
+    def test_store_masks_to_64_bits(self):
+        memory = Memory()
+        memory.store(0x1000, -1, 8)
+        assert memory.load(0x1000, 8) == (1 << 64) - 1
+
+    def test_adjacent_words_independent(self):
+        memory = Memory()
+        memory.store(0x1000, 1, 8)
+        memory.store(0x1008, 2, 8)
+        assert memory.load(0x1000, 8) == 1
+        assert memory.load(0x1008, 8) == 2
+
+
+class TestLongWordAccess:
+    def test_low_half_store(self):
+        memory = Memory()
+        memory.store(0x1000, 0xAABBCCDD, 4)
+        assert memory.load(0x1000, 4) == 0xAABBCCDD
+
+    def test_high_half_does_not_clobber_low(self):
+        memory = Memory()
+        memory.store(0x1000, 0x11111111, 4)
+        memory.store(0x1004, 0x22222222, 4)
+        assert memory.load(0x1000, 4) == 0x11111111
+        assert memory.load(0x1000, 8) == 0x2222222211111111
+
+    def test_signed_load(self):
+        memory = Memory()
+        memory.store(0x1000, 0xFFFFFFFF, 4)
+        assert memory.load_signed(0x1000, 4) == (1 << 64) - 1  # -1 masked
+        memory.store(0x1008, 5, 4)
+        assert memory.load_signed(0x1008, 4) == 5
+
+
+class TestErrors:
+    def test_unaligned_quad_rejected(self):
+        with pytest.raises(MemoryError_, match="unaligned"):
+            Memory().load(0x1004, 8)
+
+    def test_unaligned_long_rejected(self):
+        with pytest.raises(MemoryError_, match="unaligned"):
+            Memory().store(0x1002, 0, 4)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(MemoryError_, match="size"):
+            Memory().load(0x1000, 2)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(MemoryError_):
+            Memory().load(-8, 8)
+
+
+class TestBulk:
+    def test_write_read_bytes_round_trip(self):
+        memory = Memory()
+        payload = bytes(range(1, 20))
+        memory.write_bytes(0x1001, payload)
+        assert memory.read_bytes(0x1001, len(payload)) == payload
+
+    def test_write_bytes_preserves_neighbors(self):
+        memory = Memory()
+        memory.store(0x1000, (1 << 64) - 1, 8)
+        memory.write_bytes(0x1002, b"\x00")
+        assert memory.read_bytes(0x1000, 4) == b"\xff\xff\x00\xff"

@@ -1,0 +1,138 @@
+"""Tests for the experiment harness (on tiny windows)."""
+
+import pytest
+
+from repro.harness import (
+    characterize,
+    fig5_ideal_morphing,
+    fig6_progressive,
+    fig7_svf_vs_stack_cache,
+    fig9_svf_speedup,
+    percent,
+    render_series,
+    render_table,
+    table1_workloads,
+    table2_models,
+    table3_memory_traffic,
+    table4_context_switch,
+)
+from repro.workloads import all_inputs, clear_trace_cache
+
+SUBSET = ["186.crafty"]
+WINDOW = 12_000
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["A", "Blong"], [(1, 2.5), ("xx", "y")])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "2.500" in text
+
+    def test_render_series(self):
+        text = render_series("curve", [0.0, 0.5, 1.0])
+        assert "curve" in text and "[0..1]" in text
+
+    def test_percent(self):
+        assert percent(1.29) == "+29.0%"
+        assert percent(0.95) == "-5.0%"
+
+
+class TestStaticTables:
+    def test_table1_lists_all_benchmarks(self):
+        text = table1_workloads()
+        assert "256.bzip2" in text and "175.vpr" in text
+        assert "crafty.in" in text
+
+    def test_table2_matches_paper(self):
+        text = table2_models()
+        assert "4-way 64KB" in text
+        assert "60 clks" in text
+
+
+class TestCharacterization:
+    def test_figures_1_to_3(self):
+        result = characterize(benchmarks=SUBSET, max_instructions=WINDOW)
+        fig1 = result.render_fig1()
+        assert "stack-$sp" in fig1 and "186.crafty" in fig1
+        fig2 = result.render_fig2()
+        assert "Stack Depth" in fig2
+        fig3 = result.render_fig3()
+        assert "avg offset" in fig3
+
+    def test_distribution_values_plausible(self):
+        result = characterize(benchmarks=SUBSET, max_instructions=WINDOW)
+        dist = result.distributions["186.crafty"]
+        assert 0.05 < dist.memory_fraction < 0.9
+        assert dist.stack_fraction > 0.3
+
+
+class TestTimingExperiments:
+    def test_fig5_structure(self):
+        result = fig5_ideal_morphing(
+            benchmarks=SUBSET, max_instructions=WINDOW, widths=(4, 16),
+            include_gshare=False,
+        )
+        per = result.speedups["186.crafty"]
+        assert set(per) == {"4-wide", "16-wide"}
+        assert all(v > 0.5 for v in per.values())
+        assert "Figure 5" in result.render()
+        assert "average" in result.render()
+
+    def test_fig6_structure(self):
+        result = fig6_progressive(
+            benchmarks=SUBSET, max_instructions=WINDOW
+        )
+        per = result.speedups["186.crafty"]
+        assert set(per) == {
+            "L1_2x", "no_addr_cal_op", "svf_1p", "svf_2p", "svf_16p",
+        }
+        # Doubling L1 is negligible; 16-port SVF >= 2-port SVF.
+        assert abs(per["L1_2x"] - 1.0) < 0.05
+        assert per["svf_16p"] >= per["svf_2p"] - 1e-9
+
+    def test_fig7_and_fig8(self):
+        result = fig7_svf_vs_stack_cache(
+            benchmarks=SUBSET, max_instructions=WINDOW
+        )
+        per = result.speedups["186.crafty"]
+        assert set(per) == {"(4+0)", "(2+2)$", "(2+2)svf", "(2+2)svf_nosq"}
+        fig8 = result.render_fig8()
+        assert "fast loads" in fig8
+
+    def test_fig9_structure(self):
+        result = fig9_svf_speedup(
+            benchmarks=SUBSET, max_instructions=WINDOW
+        )
+        per = result.speedups["186.crafty"]
+        assert set(per) == {"(1+1)", "(1+2)", "(2+1)", "(2+2)"}
+        # Adding an SVF to a single-ported design helps (paper Fig 9).
+        assert per["(1+2)"] > 1.0
+
+
+class TestTrafficExperiments:
+    def test_table3_rows_and_sizes(self):
+        inputs = [w for w in all_inputs() if w.name == "164.gzip"]
+        result = table3_memory_traffic(
+            max_instructions=WINDOW, inputs=inputs
+        )
+        assert set(result.traffic) == {
+            "gzip.graphic", "gzip.log", "gzip.program",
+        }
+        rendered = result.render()
+        assert "2K" in rendered and "8K" in rendered
+
+    def test_table4(self):
+        result = table4_context_switch(
+            benchmarks=SUBSET, max_instructions=WINDOW, period=3_000
+        )
+        cache_bytes, svf_bytes = result.rows["186.crafty"]
+        assert svf_bytes <= cache_bytes
+        assert "Table 4" in result.render()

@@ -1,0 +1,40 @@
+"""Tests for the all-in-one report generator."""
+
+from repro.harness.runall import generate_report
+
+
+class TestGenerateReport:
+    def test_small_subset_report(self):
+        notes = []
+        text = generate_report(
+            timing_window=3_000,
+            functional_window=3_000,
+            benchmarks=["164.gzip"],
+            progress=notes.append,
+        )
+        # Every section is present.
+        for marker in (
+            "Table 1", "Table 2", "Figure 1", "Figure 2", "Figure 3",
+            "First-touch", "Figure 5", "Figure 6", "Figure 7",
+            "Figure 8", "Table 3", "Table 4", "Figure 9",
+        ):
+            assert marker in text, marker
+        # Only the requested benchmark appears in per-bench tables.
+        assert "164.gzip" in text
+        figure5 = text.split("Figure 5")[1].split("##")[0]
+        assert "186.crafty" not in figure5
+        # Table 3 was filtered to the requested benchmark's inputs.
+        table3 = text.split("Table 3")[-1].split("##")[0]
+        assert "crafty.ref" not in table3
+        assert "gzip.graphic" in table3
+        # Progress callbacks fired for every stage.
+        assert len(notes) >= 7
+
+    def test_report_is_markdown(self):
+        text = generate_report(
+            timing_window=2_000,
+            functional_window=2_000,
+            benchmarks=["164.gzip"],
+        )
+        assert text.startswith("# ")
+        assert text.count("```") % 2 == 0

@@ -1,0 +1,185 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.emulator.memory import DATA_BASE
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.registers import RA, SP, ZERO
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        program = assemble("main: halt")
+        assert len(program) == 1
+        assert program.labels["main"] == 0
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(AssemblerError, match="entry"):
+            assemble("other: halt")
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            """
+            # full-line comment
+            main:           ; trailing style
+                nop         # inline comment
+                halt
+            """
+        )
+        assert len(program) == 2
+
+    def test_label_shares_line(self):
+        program = assemble("main: nop\nloop: halt")
+        assert program.labels == {"main": 0, "loop": 1}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("main: nop\nmain: halt")
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("main: br nowhere")
+
+    def test_dollar_labels_allowed(self):
+        program = assemble("main: br main$x1\nmain$x1: halt")
+        assert program.instructions[0].target_index == 1
+
+
+class TestOperandForms:
+    def test_memory_displacement(self):
+        program = assemble("main: ldq r1, -8(sp)\n halt")
+        instr = program.instructions[0]
+        assert (instr.rd, instr.rb, instr.imm) == (1, SP, -8)
+
+    def test_memory_hex_displacement(self):
+        program = assemble("main: stq r2, 0x10(r4)\n halt")
+        assert program.instructions[0].imm == 16
+
+    def test_alu_register_and_immediate(self):
+        program = assemble("main: addq r1, r2, r3\n addq r1, 7, r3\n halt")
+        assert program.instructions[0].rb == 2
+        assert program.instructions[1].imm == 7
+        assert program.instructions[1].rb is None
+
+    def test_negative_immediate(self):
+        program = assemble("main: addq r1, -3, r2\n halt")
+        assert program.instructions[0].imm == -3
+
+    def test_lda_absolute_integer(self):
+        program = assemble("main: lda r1, 4096\n halt")
+        instr = program.instructions[0]
+        assert (instr.rb, instr.imm) == (ZERO, 4096)
+
+    def test_bsr_sets_ra(self):
+        program = assemble("main: bsr f\nf: ret")
+        assert program.instructions[0].rd == RA
+
+    def test_ret_default_and_explicit(self):
+        program = assemble("main: ret\n ret r4")
+        assert program.instructions[0].rb == RA
+        assert program.instructions[1].rb == 4
+
+    def test_operand_count_errors(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("main: addq r1, r2\n halt")
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("main: halt r1")
+
+    def test_bad_register_reported_with_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("main: nop\n addq rx, r1, r2")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            assemble("main: fnord r1, r2, r3")
+
+
+class TestDataSection:
+    def test_quad_values(self):
+        program = assemble(
+            """
+            .data
+            values: .quad 1, 2, -1
+            .text
+            main: halt
+            """
+        )
+        assert program.symbols["values"] == DATA_BASE
+        assert len(program.data) == 24
+        assert program.data[0] == 1
+        assert program.data[16:24] == b"\xff" * 8
+
+    def test_space_reserves_zeroed_bytes(self):
+        program = assemble(
+            ".data\nbuf: .space 32\n.text\nmain: halt"
+        )
+        assert program.data == bytearray(32)
+
+    def test_symbol_used_as_lda_operand(self):
+        program = assemble(
+            """
+            .data
+            table: .quad 5
+            .text
+            main:
+                lda r1, table
+                halt
+            """
+        )
+        assert program.instructions[0].imm == DATA_BASE
+
+    def test_consecutive_symbols_have_offsets(self):
+        program = assemble(
+            ".data\na: .quad 1\nb: .quad 2\n.text\nmain: halt"
+        )
+        assert program.symbols["b"] == program.symbols["a"] + 8
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate symbol"):
+            assemble(".data\nx: .quad 1\nx: .quad 2\n.text\nmain: halt")
+
+    def test_directive_outside_data_rejected(self):
+        with pytest.raises(AssemblerError, match="outside .data"):
+            assemble("main: halt\n.quad 5")
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AssemblerError, match="negative"):
+            assemble(".data\nb: .space -8\n.text\nmain: halt")
+
+    def test_instructions_outside_text_rejected(self):
+        with pytest.raises(AssemblerError, match="outside .text"):
+            assemble(".data\nnop\n.text\nmain: halt")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bss\nmain: halt")
+
+
+class TestRoundTrip:
+    def test_render_reassembles_identically(self):
+        source = """
+        main:
+            lda sp, -16(sp)
+            stq ra, 0(sp)
+            addq r1, 3, r2
+            cmplt r2, r3, r4
+            beq r4, out
+            bsr helper
+        out:
+            ldq ra, 0(sp)
+            lda sp, 16(sp)
+            ret
+        helper:
+            ret
+        """
+        first = assemble(source)
+        rendered_lines = []
+        index_to_label = {v: k for k, v in first.labels.items()}
+        for index, instr in enumerate(first.instructions):
+            if index in index_to_label:
+                rendered_lines.append(f"{index_to_label[index]}:")
+            rendered_lines.append("    " + instr.render())
+        second = assemble("\n".join(rendered_lines))
+        assert [i.render() for i in first.instructions] == [
+            i.render() for i in second.instructions
+        ]

@@ -1,0 +1,171 @@
+"""Tests for the binary instruction encoding."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+    is_sp_relative_memory,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.registers import RA, SP, ZERO
+from repro.lang import compile_to_assembly
+
+
+class TestSingleInstructions:
+    @pytest.mark.parametrize(
+        "instr",
+        [
+            Instruction("ldq", rd=1, rb=SP, imm=16),
+            Instruction("stq", rd=5, rb=SP, imm=-8),
+            Instruction("ldl", rd=2, rb=7, imm=32767),
+            Instruction("stl", rd=2, rb=7, imm=-32768),
+            Instruction("lda", rd=SP, rb=SP, imm=-64),
+            Instruction("addq", ra=1, rb=2, rd=3),
+            Instruction("addq", ra=1, imm=255, rd=3),
+            Instruction("subq", ra=1, imm=-256, rd=3),
+            Instruction("mulq", ra=30, rb=31, rd=0),
+            Instruction("cmpeq", ra=4, imm=0, rd=5),
+            Instruction("jsr", rd=RA, rb=9),
+            Instruction("jmp", rb=9),
+            Instruction("ret", rb=RA),
+            Instruction("print", ra=3),
+            Instruction("halt"),
+            Instruction("nop"),
+        ],
+    )
+    def test_round_trip_single_word(self, instr):
+        words = encode(instr)
+        decoded, used = decode(words)
+        assert used == len(words)
+        assert decoded.render() == instr.render()
+
+    def test_branch_round_trip_keeps_target_index(self):
+        instr = Instruction("beq", ra=4, target="x")
+        instr.target_index = 1234
+        words = encode(instr)
+        assert len(words) == 1
+        decoded, _ = decode(words)
+        assert decoded.op == "beq"
+        assert decoded.ra == 4
+        assert decoded.target_index == 1234
+
+    def test_bsr_round_trip(self):
+        instr = Instruction("bsr", rd=RA, target="f")
+        instr.target_index = 77
+        decoded, _ = decode(encode(instr))
+        assert decoded.op == "bsr"
+        assert decoded.target_index == 77
+
+    def test_large_displacement_uses_extended_form(self):
+        instr = Instruction("lda", rd=1, rb=ZERO, imm=0x2000_0000)
+        words = encode(instr)
+        assert len(words) == 3
+        decoded, used = decode(words)
+        assert used == 3
+        assert decoded.imm == 0x2000_0000
+        assert decoded.op == "lda"
+
+    def test_negative_64bit_immediate(self):
+        instr = Instruction("addq", ra=2, imm=-(1 << 40), rd=3)
+        decoded, _ = decode(encode(instr))
+        assert decoded.imm == -(1 << 40)
+
+    def test_far_branch_rejected(self):
+        instr = Instruction("br", target="x")
+        instr.target_index = 1 << 22
+        with pytest.raises(EncodingError):
+            encode(instr)
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            decode([0])
+
+
+class TestPredecode:
+    def test_sp_relative_memory_detected(self):
+        word = encode(Instruction("ldq", rd=1, rb=SP, imm=8))[0]
+        assert is_sp_relative_memory(word)
+        word = encode(Instruction("stq", rd=1, rb=SP, imm=8))[0]
+        assert is_sp_relative_memory(word)
+
+    def test_other_base_not_flagged(self):
+        word = encode(Instruction("ldq", rd=1, rb=7, imm=8))[0]
+        assert not is_sp_relative_memory(word)
+
+    def test_non_memory_not_flagged(self):
+        word = encode(Instruction("addq", ra=SP, imm=0, rd=1))[0]
+        assert not is_sp_relative_memory(word)
+        # lda is address arithmetic, not a memory access.
+        word = encode(Instruction("lda", rd=SP, rb=SP, imm=-16))[0]
+        assert not is_sp_relative_memory(word)
+
+
+class TestWholePrograms:
+    def test_assembled_program_round_trips(self):
+        program = assemble(
+            """
+            main:
+                lda sp, -32(sp)
+                stq ra, 24(sp)
+                lda a0, 5(zero)
+                bsr square
+                print v0
+                ldq ra, 24(sp)
+                lda sp, 32(sp)
+                halt
+            square:
+                mulq a0, a0, v0
+                ret
+            """
+        )
+        blob = encode_program(program.instructions)
+        decoded = decode_program(blob)
+        assert len(decoded) == len(program.instructions)
+        for original, restored in zip(program.instructions, decoded):
+            assert restored.op == original.op
+            if original.target is not None:
+                # Labels are names, not bits: compare resolved targets.
+                assert restored.target_index == original.target_index
+            else:
+                assert restored.render() == original.render()
+
+    def test_compiled_workload_round_trips(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { print(fib(8)); return 0; }
+        """
+        from repro.isa.assembler import Assembler
+
+        program = Assembler().assemble(
+            compile_to_assembly(source), entry="__start"
+        )
+        blob = encode_program(program.instructions)
+        decoded = decode_program(blob)
+        assert len(decoded) == len(program.instructions)
+        mismatches = [
+            (a.render(), b.render())
+            for a, b in zip(program.instructions, decoded)
+            if a.op != b.op
+        ]
+        assert not mismatches
+
+    def test_predecode_agrees_with_trace_classification(self):
+        """The pre-decode bit test must match the semantic notion of an
+        $sp-relative memory reference the SVF front-end relies on."""
+        from repro.workloads import workload
+
+        program = workload("gzip").program()
+        for instr in program.instructions[:400]:
+            words = encode(instr)
+            if len(words) != 1:
+                continue
+            expected = instr.is_mem and instr.rb == SP
+            assert is_sp_relative_memory(words[0]) == expected

@@ -1,0 +1,108 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Instruction,
+    InstructionError,
+    OPCODES,
+    OpClass,
+)
+from repro.isa.registers import RA, SP, ZERO
+
+
+class TestOpcodeTable:
+    def test_memory_ops_have_sizes(self):
+        assert OPCODES["ldq"].mem_size == 8
+        assert OPCODES["ldl"].mem_size == 4
+        assert OPCODES["stq"].mem_size == 8
+        assert OPCODES["stl"].mem_size == 4
+
+    def test_lda_is_alu_not_memory(self):
+        assert OPCODES["lda"].op_class is OpClass.IALU
+        assert OPCODES["lda"].mem_size == 0
+
+    def test_classes(self):
+        assert OPCODES["mulq"].op_class is OpClass.IMULT
+        assert OPCODES["bsr"].op_class is OpClass.CALL
+        assert OPCODES["ret"].op_class is OpClass.RETURN
+        assert OPCODES["beq"].op_class is OpClass.BRANCH
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(InstructionError):
+            Instruction("frobnicate")
+
+
+class TestSourceDestSets:
+    def test_load(self):
+        instr = Instruction("ldq", rd=1, rb=SP, imm=16)
+        assert instr.source_registers() == (SP,)
+        assert instr.destination_register() == 1
+        assert instr.is_load and instr.is_mem and not instr.is_store
+
+    def test_store_reads_data_and_base(self):
+        instr = Instruction("stq", rd=5, rb=SP, imm=0)
+        assert set(instr.source_registers()) == {5, SP}
+        assert instr.destination_register() is None
+        assert instr.is_store
+
+    def test_alu_reg_form(self):
+        instr = Instruction("addq", ra=1, rb=2, rd=3)
+        assert set(instr.source_registers()) == {1, 2}
+        assert instr.destination_register() == 3
+
+    def test_alu_imm_form(self):
+        instr = Instruction("addq", ra=1, imm=5, rd=3)
+        assert instr.source_registers() == (1,)
+
+    def test_zero_register_filtered(self):
+        instr = Instruction("addq", ra=ZERO, rb=ZERO, rd=ZERO)
+        assert instr.source_registers() == ()
+        assert instr.destination_register() is None
+
+    def test_conditional_branch(self):
+        instr = Instruction("beq", ra=4, target="loop")
+        assert instr.source_registers() == (4,)
+        assert instr.destination_register() is None
+        assert instr.is_branch and instr.is_conditional
+
+    def test_bsr_writes_ra(self):
+        instr = Instruction("bsr", rd=RA, target="callee")
+        assert instr.destination_register() == RA
+        assert instr.is_call
+
+    def test_ret_reads_ra(self):
+        instr = Instruction("ret", rb=RA)
+        assert instr.source_registers() == (RA,)
+        assert instr.is_return and instr.is_branch
+
+    def test_jsr_reads_target_register_writes_ra(self):
+        instr = Instruction("jsr", rd=RA, rb=4)
+        assert instr.source_registers() == (4,)
+        assert instr.destination_register() == RA
+
+    def test_lda_reads_base(self):
+        instr = Instruction("lda", rd=SP, rb=SP, imm=-32)
+        assert instr.source_registers() == (SP,)
+        assert instr.destination_register() == SP
+
+    def test_print_reads_operand(self):
+        instr = Instruction("print", ra=3)
+        assert instr.source_registers() == (3,)
+
+
+class TestRender:
+    @pytest.mark.parametrize(
+        "instr,expected",
+        [
+            (Instruction("ldq", rd=1, rb=SP, imm=16), "ldq r1, 16(sp)"),
+            (Instruction("addq", ra=1, rb=2, rd=3), "addq r1, r2, r3"),
+            (Instruction("addq", ra=1, imm=-4, rd=3), "addq r1, -4, r3"),
+            (Instruction("beq", ra=4, target="x"), "beq r4, x"),
+            (Instruction("br", target="x"), "br x"),
+            (Instruction("ret", rb=RA), "ret"),
+            (Instruction("halt"), "halt"),
+        ],
+    )
+    def test_render(self, instr, expected):
+        assert instr.render() == expected

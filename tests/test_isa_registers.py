@@ -1,0 +1,83 @@
+"""Unit tests for register parsing and conventions."""
+
+import pytest
+
+from repro.isa.registers import (
+    ARG_REGISTERS,
+    FP,
+    NUM_REGISTERS,
+    RA,
+    RegisterError,
+    SAVED_REGISTERS,
+    SP,
+    TEMP_REGISTERS,
+    ZERO,
+    parse_register,
+    register_name,
+)
+
+
+class TestConventions:
+    def test_alpha_register_numbers(self):
+        assert SP == 30
+        assert FP == 15
+        assert RA == 26
+        assert ZERO == 31
+
+    def test_register_classes_are_disjoint(self):
+        special = {SP, FP, RA, ZERO, 29, 0}
+        pools = set(ARG_REGISTERS) | set(TEMP_REGISTERS) | set(SAVED_REGISTERS)
+        assert not (special & pools)
+        assert len(ARG_REGISTERS) == 6
+        assert len(SAVED_REGISTERS) == 6
+
+    def test_temp_pool_has_no_duplicates(self):
+        assert len(set(TEMP_REGISTERS)) == len(TEMP_REGISTERS)
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("sp", SP),
+            ("$sp", SP),
+            ("SP", SP),
+            ("fp", FP),
+            ("ra", RA),
+            ("zero", ZERO),
+            ("r0", 0),
+            ("r31", 31),
+            ("$r15", 15),
+            ("v0", 0),
+            ("a0", 16),
+            ("a5", 21),
+            ("s0", 9),
+            ("t0", TEMP_REGISTERS[0]),
+        ],
+    )
+    def test_valid_names(self, text, expected):
+        assert parse_register(text) == expected
+
+    @pytest.mark.parametrize("text", ["r32", "r-1", "x3", "", "$", "r", "rq"])
+    def test_invalid_names(self, text):
+        with pytest.raises(RegisterError):
+            parse_register(text)
+
+    def test_whitespace_tolerated(self):
+        assert parse_register("  sp ") == SP
+
+
+class TestRegisterName:
+    def test_canonical_names_round_trip(self):
+        for number in range(NUM_REGISTERS):
+            assert parse_register(register_name(number)) == number
+
+    def test_special_names(self):
+        assert register_name(SP) == "sp"
+        assert register_name(ZERO) == "zero"
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterError):
+            register_name(32)
+        with pytest.raises(RegisterError):
+            register_name(-1)

@@ -1,0 +1,226 @@
+"""Stress tests for tricky code-generation paths.
+
+These target the mechanisms most likely to harbour subtle register-
+allocation bugs: temp-stack spilling around calls, pinned entries,
+logical-operator joins, deep argument expressions, and the placeholder
+frame patching.
+"""
+
+from repro.emulator import run_program
+from repro.lang import CodegenOptions, compile_program, compile_to_assembly
+
+
+def outputs(source, options=None):
+    machine, _ = run_program(
+        compile_program(source, options), max_instructions=5_000_000
+    )
+    assert machine.halted
+    return machine.output
+
+
+class TestTempSpilling:
+    def test_calls_inside_deep_expressions(self):
+        """Live temporaries must survive nested calls (spill_all)."""
+        assert outputs(
+            """
+            int f(int x) { return x + 1; }
+            int main() {
+                int r = (1 + f(2)) * (3 + f(4)) + (5 + f(6)) * (7 + f(8));
+                print(r);
+                return 0;
+            }
+            """
+        ) == [(1 + 3) * (3 + 5) + (5 + 7) * (7 + 9)]
+
+    def test_call_results_feed_call_arguments(self):
+        assert outputs(
+            """
+            int add(int a, int b) { return a + b; }
+            int main() {
+                print(add(add(1, 2), add(add(3, 4), add(5, 6))));
+                return 0;
+            }
+            """
+        ) == [21]
+
+    def test_six_argument_call_with_expression_args(self):
+        assert outputs(
+            """
+            int mix(int a, int b, int c, int d, int e, int f) {
+                return a - b + c - d + e - f;
+            }
+            int main() {
+                int x = 10;
+                print(mix(x + 1, x * 2, x - 3, x / 2, x % 3, -x));
+                return 0;
+            }
+            """
+        ) == [11 - 20 + 7 - 5 + 1 + 10]
+
+    def test_spill_slots_reused_across_statements(self):
+        """Frame should not grow linearly with statement count."""
+        statements = "\n".join(
+            f"total += (a && b) + (a || {i});" for i in range(30)
+        )
+        source = f"""
+        int main() {{
+            int a = 1;
+            int b = 0;
+            int total = 0;
+            {statements}
+            print(total);
+            return 0;
+        }}
+        """
+        asm = compile_to_assembly(source)
+        frame_sizes = [
+            int(line.split("-")[1].split("(")[0])
+            for line in asm.splitlines()
+            if "lda sp, -" in line
+        ]
+        assert max(frame_sizes) < 200  # slots recycled, not accumulated
+        # each statement adds (1 && 0) + (1 || i) == 0 + 1
+        assert outputs(source) == [30]
+
+
+class TestLogicalJoins:
+    def test_nested_logical_operators(self):
+        assert outputs(
+            """
+            int main() {
+                int a = 1;
+                int b = 0;
+                int c = 5;
+                print((a && b) || (c && (a || b)));
+                print(((a || b) && (b || c)) && a);
+                print(!(a && b) && !(b || 0));
+                return 0;
+            }
+            """
+        ) == [1, 1, 1]
+
+    def test_short_circuit_prevents_side_effect_crash(self):
+        assert outputs(
+            """
+            int divide(int a, int b) { return a / b; }
+            int main() {
+                int zero_val = 0;
+                int guard = 0;
+                print(guard && divide(1, zero_val));
+                print((guard || 1) && divide(10, 5) == 2);
+                return 0;
+            }
+            """
+        ) == [0, 1]
+
+    def test_logical_inside_loop_condition(self):
+        assert outputs(
+            """
+            int main() {
+                int i = 0;
+                int hits = 0;
+                while (i < 50 && hits < 5) {
+                    if (i % 7 == 0 || i % 11 == 0) { hits += 1; }
+                    i += 1;
+                }
+                print(i);
+                print(hits);
+                return 0;
+            }
+            """
+        ) == [22, 5]  # hits: i = 0, 7, 11, 14, 21; exits with i == 22
+
+
+class TestFrameLayout:
+    def test_large_array_does_not_displace_hot_slots(self):
+        """Scalars and spills must sit below the array (near $sp)."""
+        source = """
+        int work(int seed) {
+            int big[512];
+            big[seed & 511] = seed;
+            int acc = 0;
+            for (int i = 0; i < 4; i += 1) { acc += big[(seed + i) & 511]; }
+            return acc;
+        }
+        int main() { print(work(7)); return 0; }
+        """
+        # With promotion disabled the incoming argument spills to a
+        # frame slot, which must sit below the 4 KB array (near $sp).
+        options = CodegenOptions(promoted_locals=0, fp_frames=False)
+        asm = compile_to_assembly(source, options)
+        spill_lines = [
+            line for line in asm.splitlines()
+            if "stq a0," in line
+        ]
+        assert spill_lines
+        displacement = int(spill_lines[0].split(",")[1].strip().split("(")[0])
+        assert displacement < 64
+        assert outputs(source, options) == [7]
+
+    def test_multiple_arrays_have_distinct_regions(self):
+        assert outputs(
+            """
+            int main() {
+                int a[4];
+                int b[4];
+                for (int i = 0; i < 4; i += 1) { a[i] = i; b[i] = 10 + i; }
+                int total = 0;
+                for (int i = 0; i < 4; i += 1) { total += a[i] * b[i]; }
+                print(total);
+                return 0;
+            }
+            """
+        ) == [0 * 10 + 1 * 11 + 2 * 12 + 3 * 13]
+
+    def test_recursive_function_with_array_and_calls(self):
+        assert outputs(
+            """
+            int helper(int x) { return x * 2; }
+            int walk(int depth) {
+                int scratch[8];
+                for (int i = 0; i < 8; i += 1) {
+                    scratch[i] = helper(depth + i);
+                }
+                if (depth == 0) { return scratch[0]; }
+                return scratch[depth & 7] + walk(depth - 1);
+            }
+            int main() { print(walk(6)); return 0; }
+            """
+        ) == [sum(2 * (d + (d & 7)) for d in range(1, 7)) + 0]
+
+
+class TestPromotionInteractions:
+    def test_address_taken_locals_never_promoted(self):
+        """&x forces x into memory even when it is hot."""
+        source = """
+        int bump(int *p) { p[0] += 1; return 0; }
+        int main() {
+            int hot = 0;
+            for (int i = 0; i < 100; i += 1) {
+                bump(&hot);
+            }
+            print(hot);
+            return 0;
+        }
+        """
+        for promoted in (0, 6):
+            assert outputs(
+                source, CodegenOptions(promoted_locals=promoted)
+            ) == [100]
+
+    def test_promoted_values_survive_calls(self):
+        assert outputs(
+            """
+            int noisy() { return 999; }
+            int main() {
+                int keep = 5;
+                int total = 0;
+                for (int i = 0; i < 10; i += 1) {
+                    noisy();
+                    total += keep;   // must still be 5 after the call
+                }
+                print(total);
+                return 0;
+            }
+            """
+        ) == [50]

@@ -1,0 +1,157 @@
+"""Differential tests: reference interpreter vs the compiled path.
+
+The AST interpreter and the full pipeline (codegen -> assembler ->
+emulator) must print identical output for every program.  This is the
+strongest correctness statement the toolchain makes about itself.
+"""
+
+import pytest
+
+from repro.emulator import run_program
+from repro.lang import compile_program
+from repro.lang.interpreter import InterpreterError, interpret
+from repro.workloads import workload
+
+
+def both_outputs(source, max_instructions=3_000_000):
+    machine, _ = run_program(
+        compile_program(source), max_instructions=max_instructions
+    )
+    assert machine.halted, "compiled program did not halt"
+    reference = interpret(source)
+    return machine.output, reference.output
+
+
+def assert_agree(source):
+    compiled, interpreted = both_outputs(source)
+    assert compiled == interpreted
+
+
+class TestBasicAgreement:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "1 + 2 * 3",
+            "(-7) / 2",
+            "(-7) % 2",
+            "1 << 20 >> 3",
+            "(-1) >> 1",
+            "~5 & 12 | 3 ^ 9",
+            "(3 < 4) + (4 <= 4) + (5 > 6) + (7 == 7) + (8 != 8)",
+            "1 && 2 || 0",
+            "0 && (1 / 1)",
+        ],
+    )
+    def test_expressions(self, expression):
+        assert_agree(
+            f"int main() {{ print({expression}); return 0; }}"
+        )
+
+    def test_control_flow(self):
+        assert_agree(
+            """
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 20; i += 1) {
+                    if (i % 3 == 0) { continue; }
+                    if (i > 15) { break; }
+                    total += i;
+                }
+                while (total % 7 != 0) { total += 1; }
+                print(total);
+                return 0;
+            }
+            """
+        )
+
+    def test_recursion_and_globals(self):
+        assert_agree(
+            """
+            int calls = 0;
+            int ack(int m, int n) {
+                calls += 1;
+                if (m == 0) { return n + 1; }
+                if (n == 0) { return ack(m - 1, 1); }
+                return ack(m - 1, ack(m, n - 1));
+            }
+            int main() {
+                print(ack(2, 3));
+                print(calls);
+                return 0;
+            }
+            """
+        )
+
+    def test_arrays_and_pointers(self):
+        assert_agree(
+            """
+            int scale(int *values, int n, int factor) {
+                for (int i = 0; i < n; i += 1) {
+                    values[i] = values[i] * factor;
+                }
+                return values[n - 1];
+            }
+            int main() {
+                int data[6];
+                for (int i = 0; i < 6; i += 1) { data[i] = i + 1; }
+                print(scale(&data[0], 6, 3));
+                int *p = &data[2];
+                *p = 100;
+                print(data[2]);
+                print(p[1]);
+                return 0;
+            }
+            """
+        )
+
+    def test_heap_allocation(self):
+        assert_agree(
+            """
+            int main() {
+                int *a = alloc(4);
+                int *b = alloc(4);
+                for (int i = 0; i < 4; i += 1) { a[i] = i; b[i] = i * i; }
+                int total = 0;
+                for (int i = 0; i < 4; i += 1) { total += a[i] + b[i]; }
+                print(total);
+                print(b - a);  // pointer distance is well-defined
+                return 0;
+            }
+            """
+        )
+
+    def test_interpreter_detects_division_by_zero(self):
+        with pytest.raises(InterpreterError, match="division"):
+            interpret("int main() { int z = 0; print(1 / z); return 0; }")
+
+    def test_step_limit(self):
+        with pytest.raises(InterpreterError, match="step limit"):
+            interpret("int main() { while (1) { } return 0; }",
+                      max_steps=1_000)
+
+
+class TestWorkloadAgreement:
+    """Every workload, at reduced scale, on both execution paths."""
+
+    CASES = [
+        ("bzip2", dict(blocks=1, block=48)),
+        ("crafty", dict(positions=1, depth=4)),
+        ("eon", dict(width=3, height=2, spheres=2, bounces=1)),
+        ("gap", dict(degree=10, rounds=2)),
+        ("gcc", dict(units=1, depth=4, frame_buffer=8, frame_touch=4)),
+        ("gzip", dict(window=96, passes=1)),
+        ("mcf", dict(nodes=12, arcs=30, sources=2, max_sweeps=4)),
+        ("parser", dict(sentences=2, depth=5, min_depth=3)),
+        ("twolf", dict(cells=6, nets=8, steps=3)),
+        ("vortex", dict(transactions=30)),
+        ("perlbmk", dict(scripts=1, loop_count=5, vm_stack=48)),
+        ("vpr", dict(width=5, height=5, nets=2, queue=40)),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,params", CASES, ids=[c[0] for c in CASES]
+    )
+    def test_workload_agrees(self, name, params):
+        source = workload(name).source(**params)
+        compiled, interpreted = both_outputs(source)
+        assert compiled == interpreted, name

@@ -1,0 +1,77 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexerError, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds_and_texts("int x while whilex")
+        assert tokens == [
+            ("keyword", "int"),
+            ("ident", "x"),
+            ("keyword", "while"),
+            ("ident", "whilex"),
+        ]
+
+    def test_decimal_and_hex_literals(self):
+        tokens = kinds_and_texts("42 0x1F 0")
+        assert tokens == [
+            ("int_lit", "42"),
+            ("int_lit", "0x1F"),
+            ("int_lit", "0"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        tokens = [t for _, t in kinds_and_texts("a<<=b>>c<=d==e&&f")]
+        assert tokens == ["a", "<<=", "b", ">>", "c", "<=", "d", "==",
+                          "e", "&&", "f"]
+
+    def test_compound_assign_operators(self):
+        tokens = [t for _, t in kinds_and_texts("x+=1; y^=2; z|=3; w&=4;")]
+        assert "+=" in tokens and "^=" in tokens
+        assert "|=" in tokens and "&=" in tokens
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_is_last(self):
+        assert tokenize("x")[-1].kind == "eof"
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds_and_texts("a // rest of line\nb") == [
+            ("ident", "a"), ("ident", "b")
+        ]
+
+    def test_block_comment_skipped(self):
+        assert kinds_and_texts("a /* b\n c */ d") == [
+            ("ident", "a"), ("ident", "d")
+        ]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* x\ny */ z")
+        assert tokens[0].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected"):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError, match="line 2"):
+            tokenize("ok\n   `")

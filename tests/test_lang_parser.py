@@ -1,0 +1,162 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import ParseError, parse
+
+
+def parse_main_body(body):
+    unit = parse("int main() { %s }" % body)
+    return unit.functions[0].body
+
+
+def parse_expr(expression):
+    statement = parse_main_body(f"x = {expression};")[0]
+    return statement.value
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_bitwise_chain(self):
+        expr = parse_expr("1 | 2 ^ 3 & 4")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("a == 1 && b < 2 || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_operators_nest(self):
+        expr = parse_expr("-!~x")
+        assert (expr.op, expr.operand.op, expr.operand.operand.op) == (
+            "-", "!", "~",
+        )
+
+    def test_address_and_deref(self):
+        expr = parse_expr("*p + &q")
+        assert expr.left.op == "*"
+        assert expr.right.op == "&"
+
+    def test_indexing_chains(self):
+        expr = parse_expr("a[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("f(1, g(2), h())")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], ast.Call)
+
+
+class TestStatements:
+    def test_declaration_forms(self):
+        body = parse_main_body("int a; int b = 5; int c[10]; int *p = 0;")
+        decls = [s for s in body if isinstance(s, ast.Declaration)]
+        assert [d.name for d in decls] == ["a", "b", "c", "p"]
+        assert decls[2].array_size == 10
+        assert decls[3].is_pointer
+
+    def test_compound_assignment_desugars(self):
+        statement = parse_main_body("x += 2;")[0]
+        assert isinstance(statement, ast.Assign)
+        assert statement.value.op == "+"
+
+    def test_if_else_if_chain(self):
+        statement = parse_main_body(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+        )[0]
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.else_body[0], ast.If)
+
+    def test_while_and_unbraced_body(self):
+        statement = parse_main_body("while (a) x = 1;")[0]
+        assert isinstance(statement, ast.While)
+        assert len(statement.body) == 1
+
+    def test_for_full_header(self):
+        statement = parse_main_body(
+            "for (int i = 0; i < 10; i += 1) { x = i; }"
+        )[0]
+        assert isinstance(statement.init, ast.Declaration)
+        assert statement.condition.op == "<"
+        assert isinstance(statement.step, ast.Assign)
+
+    def test_for_empty_header(self):
+        statement = parse_main_body("for (;;) { break; }")[0]
+        assert statement.init is None
+        assert statement.condition is None
+        assert statement.step is None
+
+    def test_return_with_and_without_value(self):
+        body = parse_main_body("if (a) { return; } return 5;")
+        assert body[0].then_body[0].value is None
+        assert body[1].value.value == 5
+
+    def test_break_continue(self):
+        body = parse_main_body("while (1) { break; continue; }")
+        assert isinstance(body[0].body[0], ast.Break)
+        assert isinstance(body[0].body[1], ast.Continue)
+
+
+class TestTopLevel:
+    def test_globals_with_initializers(self):
+        unit = parse("int g = 7; int a[4] = {1, 2}; int z; int main() {}")
+        assert unit.globals[0].initializer == [7]
+        assert unit.globals[1].initializer == [1, 2]
+        assert unit.globals[1].array_size == 4
+        assert unit.globals[2].initializer == []
+
+    def test_negative_global_initializer(self):
+        unit = parse("int g = -3; int main() {}")
+        assert unit.globals[0].initializer == [-3]
+
+    def test_function_parameters(self):
+        unit = parse("int f(int a, int *b) { return a; } int main() {}")
+        params = unit.functions[0].params
+        assert [p.name for p in params] == ["a", "b"]
+        assert params[1].is_pointer
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { x = ; }",
+            "int main() { if x { } }",
+            "int main() { int 5x; }",
+            "int main() { return 1 }",
+            "int main() { f(1,; }",
+            "int main( { }",
+            "int *g; int main() {}",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse("int main() { x = + ; }")

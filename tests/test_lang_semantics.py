@@ -1,0 +1,114 @@
+"""Unit tests for MiniC semantic analysis."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.lang.semantics import SemanticError, analyze
+
+
+def check(source):
+    unit = parse(source)
+    analyze(unit)
+    return unit
+
+
+class TestResolution:
+    def test_locals_resolve_to_symbols(self):
+        unit = check("int main() { int x = 1; x = x + 1; }")
+        assign = unit.functions[0].body[1]
+        assert assign.target.symbol.name == "x"
+        assert assign.target.symbol.kind == "local"
+
+    def test_globals_resolve(self):
+        unit = check("int g; int main() { g = 1; }")
+        assert unit.functions[0].body[0].target.symbol.kind == "global"
+
+    def test_inner_scope_shadows_outer(self):
+        unit = check(
+            """
+            int main() {
+                int x = 1;
+                if (x) { int x = 2; x = 3; }
+                x = 4;
+            }
+            """
+        )
+        inner = unit.functions[0].body[1].then_body[1]
+        outer = unit.functions[0].body[2]
+        assert inner.target.symbol.uid != outer.target.symbol.uid
+
+    def test_sibling_scopes_can_reuse_names(self):
+        check(
+            """
+            int main() {
+                if (1) { int t = 1; t = t; }
+                if (2) { int t = 2; t = t; }
+            }
+            """
+        )
+
+    def test_for_loop_variable_scoped_to_loop(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("int main() { for (int i = 0; i < 3; i += 1) {} i = 1; }")
+
+    def test_address_taken_marked(self):
+        unit = check("int f(int *p) { return p[0]; } "
+                     "int main() { int x = 1; return f(&x); }")
+        info = unit.functions[1].info
+        assert info.has_address_taken
+
+    def test_function_info_collected(self):
+        unit = check(
+            """
+            int helper(int a) { return a; }
+            int main() { int b[4]; int c = helper(1); return c + b[0]; }
+            """
+        )
+        info = unit.functions[1].info
+        assert info.makes_calls
+        assert info.has_arrays
+        assert [s.name for s in info.locals] == ["b", "c"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("int main() { y = 1; }", "undeclared"),
+            ("int main() { int x; int x; }", "duplicate declaration"),
+            ("int g; int g; int main() {}", "duplicate global"),
+            ("int f() {} int f() {} int main() {}", "duplicate function"),
+            ("int f() {}", "missing function 'main'"),
+            ("int main() { missing(); }", "undefined function"),
+            ("int f(int a) { return a; } int main() { f(); }", "argument"),
+            ("int main() { print(1, 2); }", "argument"),
+            ("int main() { break; }", "outside loop"),
+            ("int main() { continue; }", "outside loop"),
+            ("int main() { int a[3]; a = 1; }", "cannot assign to array"),
+            ("int main() { int a[0]; }", "non-positive"),
+            ("int g[-2]; int main() {}", "non-positive"),
+            ("int main() { 5 = 1; }", "invalid assignment"),
+            ("int main() { int x = &5; }", "'&' needs"),
+            ("int print; int main() {}", "builtin"),
+            (
+                "int f(int a, int b, int c, int d, int e, int g, int h) "
+                "{ return 0; } int main() {}",
+                "parameters",
+            ),
+            (
+                "int main() { int a[2]; int b[2] = 1; }",
+                "array declarations",
+            ),
+        ],
+    )
+    def test_rejected(self, source, message):
+        with pytest.raises(SemanticError, match=message):
+            check(source)
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(SemanticError, match="duplicate parameter"):
+            check("int f(int a, int a) { return 0; } int main() {}")
+
+    def test_builtin_arity_enforced_for_alloc(self):
+        with pytest.raises(SemanticError, match="argument"):
+            check("int main() { int *p = alloc(); }")

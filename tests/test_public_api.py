@@ -1,0 +1,58 @@
+"""Public-API surface tests: every __all__ entry exists and imports."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.lang",
+    "repro.emulator",
+    "repro.trace",
+    "repro.uarch",
+    "repro.core",
+    "repro.workloads",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_entries_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), package_name
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    entries = list(package.__all__)
+    assert len(entries) == len(set(entries)), package_name
+
+
+def test_top_level_quickstart_symbols():
+    """The README quickstart must keep working."""
+    import repro
+
+    trace = repro.workload("gzip").trace(max_instructions=2_000)
+    base = repro.table2_config(16)
+    svf = base.with_svf(mode="svf", ports=2)
+    baseline = repro.simulate(trace, base)
+    run = repro.simulate(trace, svf)
+    assert run.speedup_over(baseline) > 0
+
+    assert repro.StackValueFile(1024).num_entries == 128
+    assert repro.StackCache(1024).num_lines == 32
+    assert repro.__version__
+
+
+def test_docstrings_on_public_classes():
+    """Every public class/function carries a docstring."""
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if callable(obj) and not isinstance(obj, (int, tuple, dict)):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"

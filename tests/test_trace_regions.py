@@ -1,0 +1,53 @@
+"""Unit tests for memory-region classification (Figure 1 taxonomy)."""
+
+from repro.emulator.memory import DATA_BASE, HEAP_BASE, STACK_BASE, TEXT_BASE
+from repro.isa.registers import FP, SP
+from repro.trace.regions import (
+    AccessMethod,
+    Region,
+    STACK_REGION_FLOOR,
+    classify_access,
+    classify_address,
+    is_stack_address,
+)
+
+
+class TestClassifyAddress:
+    def test_stack_addresses(self):
+        assert classify_address(STACK_BASE) is Region.STACK
+        assert classify_address(STACK_BASE - 4096) is Region.STACK
+        assert classify_address(STACK_REGION_FLOOR) is Region.STACK
+
+    def test_heap_addresses(self):
+        assert classify_address(HEAP_BASE) is Region.HEAP
+        assert classify_address(STACK_REGION_FLOOR - 8) is Region.HEAP
+
+    def test_global_addresses(self):
+        assert classify_address(DATA_BASE) is Region.GLOBAL
+        assert classify_address(HEAP_BASE - 8) is Region.GLOBAL
+
+    def test_text_addresses(self):
+        assert classify_address(TEXT_BASE) is Region.TEXT
+
+    def test_null_page(self):
+        assert classify_address(0) is Region.OTHER
+
+
+class TestClassifyAccess:
+    def test_stack_by_base_register(self):
+        addr = STACK_BASE - 64
+        assert classify_access(addr, SP) is AccessMethod.STACK_SP
+        assert classify_access(addr, FP) is AccessMethod.STACK_FP
+        assert classify_access(addr, 4) is AccessMethod.STACK_GPR
+
+    def test_sp_base_to_heap_is_heap(self):
+        # Classification is by address region, not just base register.
+        assert classify_access(HEAP_BASE + 8, SP) is AccessMethod.HEAP
+
+    def test_global_and_heap(self):
+        assert classify_access(DATA_BASE + 8, 3) is AccessMethod.GLOBAL
+        assert classify_access(HEAP_BASE + 8, 3) is AccessMethod.HEAP
+
+    def test_is_stack_address(self):
+        assert is_stack_address(STACK_BASE - 8)
+        assert not is_stack_address(HEAP_BASE)

@@ -1,0 +1,87 @@
+"""Unit tests for SimStats and the report helpers."""
+
+import pytest
+
+from repro.harness.report import percent, render_series, render_table
+from repro.uarch.stats import SimStats
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(instructions=100, cycles=25)
+        assert stats.ipc == 4.0
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_speedup_over(self):
+        fast = SimStats(instructions=100, cycles=80)
+        slow = SimStats(instructions=100, cycles=100)
+        assert fast.speedup_over(slow) == pytest.approx(1.25)
+        assert slow.speedup_over(fast) == pytest.approx(0.8)
+
+    def test_speedup_requires_same_window(self):
+        first = SimStats(instructions=100, cycles=50)
+        second = SimStats(instructions=200, cycles=50)
+        with pytest.raises(ValueError, match="window"):
+            first.speedup_over(second)
+
+    def test_fast_fraction(self):
+        stats = SimStats(
+            svf_fast_loads=60, svf_fast_stores=20, svf_rerouted=20
+        )
+        assert stats.svf_fast_fraction == 0.8
+
+    def test_fast_fraction_empty(self):
+        assert SimStats().svf_fast_fraction == 0.0
+
+    def test_extras_dict_is_per_instance(self):
+        first = SimStats()
+        second = SimStats()
+        first.extras["x"] = 1
+        assert "x" not in second.extras
+
+
+class TestRenderTable:
+    def test_column_alignment(self):
+        text = render_table(
+            ["Name", "Value"], [("a", 1), ("longer", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        positions = [line.index("1") if "1" in line else None
+                     for line in lines]
+        # 'Value' column starts at the same offset in every row.
+        assert lines[2].index("-") == 0
+
+    def test_floats_formatted(self):
+        text = render_table(["x"], [(1.23456,)])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderSeries:
+    def test_constant_series(self):
+        text = render_series("flat", [5.0, 5.0, 5.0])
+        assert "flat" in text and "[5..5]" in text
+
+    def test_downsampling(self):
+        text = render_series("long", list(range(500)), width=40)
+        # name + ': ' + 40 chars + suffix
+        body = text.split(": ", 1)[1]
+        assert len(body.split(" [")[0]) == 40
+
+    def test_empty_series(self):
+        assert "(empty)" in render_series("none", [])
+
+
+class TestPercent:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1.0, "+0.0%"), (1.5, "+50.0%"), (0.9, "-10.0%"), (2.0, "+100.0%")],
+    )
+    def test_formatting(self, value, expected):
+        assert percent(value) == expected

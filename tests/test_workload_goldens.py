@@ -1,0 +1,67 @@
+"""Golden-output regression tests for the workload suite.
+
+Each case pins the exact printed output AND dynamic instruction count
+of a reduced-scale run.  The emulator is deterministic, so any change
+here means the compiler, the ISA semantics, or the workload source
+changed behaviour — which must be a deliberate decision, because it
+invalidates recorded experiment numbers.
+"""
+
+import pytest
+
+from repro.workloads import workload
+
+GOLDENS = [
+    ("bzip2", "graphic", {"blocks": 2, "block": 96}, [305, 265], 39136),
+    ("bzip2", "program", {"blocks": 2, "block": 96}, [2351, 786], 107172),
+    ("crafty", None, {"positions": 2, "depth": 5}, [1084, 129], 24521),
+    ("eon", "cook",
+     {"width": 4, "height": 4, "spheres": 3, "bounces": 1},
+     [390, 4], 34890),
+    ("eon", "kajiya",
+     {"width": 4, "height": 4, "spheres": 3, "bounces": 2},
+     [455, 14], 55618),
+    ("gap", None, {"degree": 16, "rounds": 3}, [3], 9842),
+    ("gcc", "cp-decl", {"units": 2, "depth": 5}, [0, 49, 96], 26904),
+    ("gcc", "integrate", {"units": 2, "depth": 5}, [8, 46, 90], 25662),
+    ("gzip", "graphic", {"window": 128, "passes": 2}, [1920], 50464),
+    ("gzip", "log", {"window": 128, "passes": 2}, [1680], 46036),
+    ("mcf", None, {"nodes": 24, "arcs": 72, "sources": 3},
+     [20311, 210], 50816),
+    ("parser", None, {"sentences": 4, "depth": 7, "min_depth": 4},
+     [32, 0], 100150),
+    ("twolf", None, {"cells": 10, "nets": 16, "steps": 6},
+     [2408, 4], 21497),
+    ("vortex", None, {"transactions": 80}, [1078777, 32], 11455),
+    ("perlbmk", None, {"scripts": 3, "loop_count": 10, "vm_stack": 96},
+     [-15, 42], 11601),
+    ("vpr", None, {"width": 8, "height": 8, "nets": 4},
+     [76, 4, 0], 151728),
+    ("x86mix", None, {"records": 24, "batches": 2}, [953276, 96], 8166),
+]
+
+
+@pytest.mark.parametrize(
+    "bench,input_name,params,expected_output,expected_instructions",
+    GOLDENS,
+    ids=[
+        f"{case[0]}.{case[1] or 'default'}" for case in GOLDENS
+    ],
+)
+def test_golden(bench, input_name, params, expected_output,
+                expected_instructions):
+    machine = workload(bench, input_name).run(
+        max_instructions=5_000_000, **params
+    )
+    assert machine.halted
+    assert machine.output == expected_output
+    assert machine.instruction_count == expected_instructions
+
+
+def test_goldens_cover_every_benchmark():
+    covered = {case[0] for case in GOLDENS}
+    from repro.workloads import BENCHMARK_ORDER
+
+    expected = {name.split(".", 1)[1] for name in BENCHMARK_ORDER}
+    expected.add("x86mix")  # the future-work extension workload
+    assert covered == expected
