@@ -5,6 +5,8 @@ Layers, bottom-up:
 
 * :mod:`repro.isa` — Alpha-like 64-bit RISC ISA and assembler;
 * :mod:`repro.lang` — MiniC compiler (the workload substrate);
+* :mod:`repro.analysis` — static CFG/dataflow analysis and the
+  stack-discipline linter guarding the toolchain's output;
 * :mod:`repro.emulator` — functional emulator producing dynamic traces;
 * :mod:`repro.trace` — trace records, region classification, analyses;
 * :mod:`repro.uarch` — out-of-order timing model (Table 2 machines);
@@ -26,17 +28,22 @@ Quick start::
 
 __version__ = "1.0.0"
 
+from repro.analysis import LintReport, Severity, lint_all, lint_program
 from repro.core import StackCache, StackValueFile
 from repro.uarch import MachineConfig, SimStats, simulate, table2_config
 from repro.workloads import all_workloads, workload
 
 __all__ = [
+    "LintReport",
     "MachineConfig",
+    "Severity",
     "SimStats",
     "StackCache",
     "StackValueFile",
     "__version__",
     "all_workloads",
+    "lint_all",
+    "lint_program",
     "simulate",
     "table2_config",
     "workload",

@@ -1,0 +1,89 @@
+"""Static analysis of assembled programs: CFGs, dataflow, stack lints.
+
+The SVF (and every figure this repository reproduces) assumes compiled
+code obeys Alpha stack discipline — ``$sp``-relative frame slots,
+write-before-read on fresh frames, frame death at ``ret``.  This
+package *verifies* those invariants statically:
+
+* :mod:`repro.analysis.cfg` — per-function control-flow graphs and
+  the direct call graph, reconstructed from a :class:`Program`;
+* :mod:`repro.analysis.dataflow` — a small generic forward/backward
+  worklist solver every pass is built on;
+* :mod:`repro.analysis.stackcheck` — the five SVF-safety passes
+  (sp-balance, frame-bounds, first-read, dead-store, escape);
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.report` — the
+  lint driver, diagnostics model, and text/JSON rendering behind the
+  ``repro lint`` CLI subcommand.
+"""
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    CFGAnomaly,
+    FunctionCFG,
+    ProgramCFG,
+    build_cfg,
+)
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowProblem,
+    DataflowResult,
+    SetProblem,
+    solve,
+)
+from repro.analysis.lint import (
+    lint_all,
+    lint_assembly,
+    lint_program,
+    lint_workload,
+)
+from repro.analysis.report import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    render_reports,
+    reports_to_json,
+)
+from repro.analysis.stackcheck import (
+    ALL_PASSES,
+    FrameContext,
+    analyze_frames,
+    check_function,
+    check_program,
+    dead_store_pass,
+    escape_pass,
+    first_read_pass,
+    structure_pass,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "BACKWARD",
+    "BasicBlock",
+    "CFGAnomaly",
+    "DataflowProblem",
+    "DataflowResult",
+    "Diagnostic",
+    "FORWARD",
+    "FrameContext",
+    "FunctionCFG",
+    "LintReport",
+    "ProgramCFG",
+    "SetProblem",
+    "Severity",
+    "analyze_frames",
+    "build_cfg",
+    "check_function",
+    "check_program",
+    "dead_store_pass",
+    "escape_pass",
+    "first_read_pass",
+    "lint_all",
+    "lint_assembly",
+    "lint_program",
+    "lint_workload",
+    "render_reports",
+    "reports_to_json",
+    "solve",
+    "structure_pass",
+]

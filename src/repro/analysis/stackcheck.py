@@ -1,0 +1,685 @@
+"""SVF-safety passes: does compiled code obey stack discipline?
+
+The Stack Value File's correctness and its entire performance win rest
+on invariants the paper *assumes* compiled code upholds (Sections 2
+and 3).  Each pass here checks one of them statically, on the
+assembled :class:`Program`, before any simulation:
+
+``sp-balance``
+    Every path through a function restores ``$sp``: the net effect of
+    the ``lda $sp, imm($sp)`` adjustments between entry and ``ret`` is
+    zero, ``$sp`` is only ever written ``$sp``-relatively, and all
+    paths into a join agree on the current ``$sp`` depth.  Violations
+    break the SVF's TOS tracking outright — **error**.
+
+``frame-bounds``
+    Every ``±IMM($sp)`` / ``±IMM($fp)`` access stays inside the
+    current frame allocation ``[$sp, entry-$sp)``.  An access below
+    ``$sp`` or into the caller's frame would be morphed to the wrong
+    SVF register (or corrupt another frame's words) — **error**.
+
+``first-read``
+    A frame slot read before any write on some path.  Stack semantics
+    say a freshly allocated frame is uninitialized, so such a read
+    forces the SVF to fill the word from the memory hierarchy — the
+    paper's valid-bit machinery exists precisely because compiled
+    code avoids this — **warning**.
+
+``dead-store``
+    A frame store never observed by any load before frame death
+    (``ret``).  These are exactly the writebacks the SVF's dirty-bit
+    + frame-death logic elides; reporting them quantifies, per static
+    store, what Table 3's traffic reduction exploits — **info**.
+
+``escape``
+    A ``$sp``-derived address flowing into a general register (the
+    paper's ``$gpr`` access class, which must be *re-routed* into the
+    SVF after address calculation — info), passed to a callee (info),
+    or stored outside the stack (memory the SVF cannot see —
+    **warning**, since morphing is only sound if such aliases are
+    re-routed dynamically).
+
+All passes run intra-procedurally on the :mod:`repro.analysis.cfg`
+graphs using the :mod:`repro.analysis.dataflow` solver.  Frame-slot
+facts are canonicalized to *entry-relative* byte offsets (negative,
+since the stack grows down), so they stay stable across the
+prologue/epilogue ``$sp`` moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    FunctionCFG,
+    ProgramCFG,
+    build_cfg,
+)
+from repro.analysis.dataflow import (
+    BACKWARD,
+    DataflowProblem,
+    SetProblem,
+    solve,
+)
+from repro.analysis.report import Diagnostic, Severity
+from repro.isa.instructions import Instruction
+from repro.isa.registers import (
+    ARG_REGISTERS,
+    FP,
+    RA,
+    SP,
+    TEMP_REGISTERS,
+    V0,
+    register_name,
+)
+
+PASS_CFG = "cfg"
+PASS_SP = "sp-balance"
+PASS_BOUNDS = "frame-bounds"
+PASS_FIRST_READ = "first-read"
+PASS_DEAD_STORE = "dead-store"
+PASS_ESCAPE = "escape"
+
+ALL_PASSES = (
+    PASS_CFG, PASS_SP, PASS_BOUNDS, PASS_FIRST_READ, PASS_DEAD_STORE,
+    PASS_ESCAPE,
+)
+
+#: ALU opcodes through which a stack address propagates (pointer
+#: arithmetic); comparisons produce booleans and drop the taint.
+_ADDRESS_PRESERVING_ALU = frozenset({
+    "addq", "subq", "mulq", "divq", "remq", "and", "or", "xor", "bic",
+    "sll", "srl", "sra",
+})
+
+#: Registers the callee may clobber — taint on them dies at a call.
+_CALLER_SAVED = frozenset(TEMP_REGISTERS) | frozenset(ARG_REGISTERS) | {V0, RA}
+
+
+class _Conflict:
+    """Singleton lattice bottom for the ``$sp``-offset analysis."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<sp-conflict>"
+
+
+CONFLICT = _Conflict()
+
+_TOP = object()  # unvisited-block sentinel for the offset analysis
+
+
+# ---------------------------------------------------------------------------
+# $sp / $fp offset tracking (feeds sp-balance, frame-bounds, and the
+# slot-canonicalization every later pass relies on)
+# ---------------------------------------------------------------------------
+
+
+def _offset_step(instruction: Instruction, fact):
+    """Abstractly execute one instruction over an ``(sp, fp)`` fact.
+
+    ``sp`` is the entry-relative stack-pointer offset (an int while
+    tracked, :data:`CONFLICT` once lost); ``fp`` is the entry-relative
+    frame-pointer offset or ``None`` while it still holds the caller's
+    (unknown) value.
+    """
+    sp, fp = fact
+    if instruction.is_sp_adjust:
+        sp = CONFLICT if sp is CONFLICT else sp + instruction.imm
+    elif instruction.writes_sp:
+        sp = CONFLICT
+    elif instruction.op == "lda" and instruction.rd == FP:
+        if instruction.rb == SP and isinstance(sp, int):
+            fp = sp + instruction.imm
+        elif instruction.rb == FP and isinstance(fp, int):
+            fp = fp + instruction.imm
+        else:
+            fp = None
+    elif instruction.destination_register() == FP:
+        fp = None  # e.g. the epilogue ``ldq $fp, ...`` restore
+    return (sp, fp)
+
+
+class _OffsetProblem(DataflowProblem):
+    direction = "forward"
+
+    def boundary(self, cfg):
+        return (0, None)
+
+    def top(self, cfg):
+        return _TOP
+
+    def meet(self, left, right):
+        if left is _TOP:
+            return right
+        if right is _TOP:
+            return left
+        sp_left, fp_left = left
+        sp_right, fp_right = right
+        sp = sp_left if sp_left == sp_right else CONFLICT
+        if sp_left is CONFLICT or sp_right is CONFLICT:
+            sp = CONFLICT
+        fp = fp_left if fp_left == fp_right else None
+        return (sp, fp)
+
+    def transfer(self, cfg, block, fact):
+        if fact is _TOP:
+            return _TOP
+        for index in block.indices():
+            fact = _offset_step(cfg.instruction(index), fact)
+        return fact
+
+
+@dataclass
+class FrameContext:
+    """Shared per-function facts the slot-level passes build on."""
+
+    cfg: FunctionCFG
+    #: entry-relative ``(sp, fp)`` fact *before* each instruction
+    offsets: Dict[int, tuple] = field(default_factory=dict)
+    #: True when ``$sp`` is an int at every reachable instruction
+    sp_tracked: bool = True
+    #: entry-relative offsets whose address was taken (``lda`` off sp/fp)
+    address_taken: Set[int] = field(default_factory=set)
+    reachable: Set[int] = field(default_factory=set)
+    deepest_sp: int = 0
+
+    @property
+    def aliased_floor(self) -> int:
+        """Lowest entry-relative offset reachable through a taken address.
+
+        Everything at or above this offset may be read or written via
+        computed addresses (local arrays, escaped scalars) or by a
+        callee holding an escaped pointer; slots strictly below it are
+        *private* — only ever touched through constant ``$sp``/``$fp``
+        displacements — and admit exact first-read/dead-store facts.
+        """
+        return min(self.address_taken) if self.address_taken else 0
+
+    def slot(self, index: int) -> Optional[Tuple[int, int]]:
+        """``(entry-relative offset, size)`` of a constant stack access.
+
+        Returns None for non-memory instructions and for accesses whose
+        base is not a tracked ``$sp``/``$fp``.
+        """
+        instruction = self.cfg.instruction(index)
+        if not instruction.is_mem:
+            return None
+        sp, fp = self.offsets.get(index, (CONFLICT, None))
+        if instruction.rb == SP and isinstance(sp, int):
+            return (sp + instruction.imm, instruction.mem_size)
+        if instruction.rb == FP and isinstance(fp, int):
+            return (fp + instruction.imm, instruction.mem_size)
+        return None
+
+    def is_private(self, offset: int, size: int) -> bool:
+        return offset + size <= self.aliased_floor
+
+    def slot_bytes(self, offset: int, size: int) -> FrozenSet[int]:
+        return frozenset(range(offset, offset + size))
+
+
+def analyze_frames(cfg: FunctionCFG) -> Tuple[FrameContext, List[Diagnostic]]:
+    """Track ``$sp``/``$fp`` and run the sp-balance + frame-bounds passes."""
+    context = FrameContext(cfg=cfg)
+    diagnostics: List[Diagnostic] = []
+    result = solve(cfg, _OffsetProblem())
+    context.reachable = cfg.reachable_ids()
+
+    def report(severity, pass_name, index, message):
+        diagnostics.append(
+            Diagnostic(severity, pass_name, cfg.name, index, message)
+        )
+
+    for block in cfg.blocks:
+        if block.id not in context.reachable:
+            continue
+        # A join where predecessors disagree on the $sp depth is the
+        # root cause of any CONFLICT; report it where it originates.
+        pred_sp = [
+            result.outputs[p][0]
+            for p in block.predecessors
+            if result.outputs[p] is not _TOP
+        ]
+        distinct = {d for d in pred_sp if isinstance(d, int)}
+        if len(distinct) > 1:
+            depths = ", ".join(str(d) for d in sorted(distinct))
+            report(
+                Severity.ERROR, PASS_SP, block.start,
+                f"paths joining here disagree on $sp depth ({depths})",
+            )
+
+        fact = result.inputs[block.id]
+        if fact is _TOP:
+            fact = (0, None)
+        for index in block.indices():
+            context.offsets[index] = fact
+            sp, fp = fact
+            instruction = cfg.instruction(index)
+            _check_instruction_frame(
+                context, instruction, index, sp, fp, report
+            )
+            if isinstance(sp, int):
+                context.deepest_sp = min(context.deepest_sp, sp)
+            fact = _offset_step(instruction, fact)
+
+    context.sp_tracked = all(
+        isinstance(context.offsets[index][0], int)
+        for block in cfg.blocks
+        if block.id in context.reachable
+        for index in block.indices()
+    )
+    return context, diagnostics
+
+
+def _check_instruction_frame(context, instruction, index, sp, fp, report):
+    cfg = context.cfg
+    # --- sp-balance -------------------------------------------------------
+    if instruction.is_sp_adjust:
+        if isinstance(sp, int) and sp + instruction.imm > 0:
+            report(
+                Severity.ERROR, PASS_SP, index,
+                f"$sp adjusted above the function entry level "
+                f"(net offset {sp + instruction.imm:+d})",
+            )
+    elif instruction.writes_sp:
+        report(
+            Severity.ERROR, PASS_SP, index,
+            f"$sp written by non-$sp-relative '{instruction.op}'; "
+            f"the SVF cannot track the top of stack",
+        )
+    if instruction.is_return:
+        if isinstance(sp, int) and sp != 0:
+            report(
+                Severity.ERROR, PASS_SP, index,
+                f"returns with unbalanced $sp (net offset {sp:+d}); "
+                f"missing or wrong epilogue 'lda $sp' on this path",
+            )
+    # --- frame-bounds -----------------------------------------------------
+    if instruction.is_mem and instruction.rb == SP:
+        if isinstance(sp, int):
+            _check_bounds(
+                instruction, index, sp, sp + instruction.imm, report
+            )
+    elif instruction.is_mem and instruction.rb == FP:
+        if isinstance(fp, int) and isinstance(sp, int):
+            _check_bounds(
+                instruction, index, sp, fp + instruction.imm, report
+            )
+        elif fp is None:
+            report(
+                Severity.WARNING, PASS_BOUNDS, index,
+                "$fp-relative access but $fp is not derived from $sp "
+                "here; frame bounds cannot be verified",
+            )
+    # --- address-taken bookkeeping (needs the same offset facts) ----------
+    if (
+        instruction.op == "lda"
+        and instruction.rd not in (SP, FP)
+        and instruction.rb in (SP, FP)
+    ):
+        base = sp if instruction.rb == SP else fp
+        if isinstance(base, int):
+            offset = base + instruction.imm
+            context.address_taken.add(offset)
+            if isinstance(sp, int) and not (sp <= offset <= 0):
+                report(
+                    Severity.WARNING, PASS_BOUNDS, index,
+                    f"address of out-of-frame stack location taken "
+                    f"(entry-relative offset {offset:+d})",
+                )
+
+
+def _check_bounds(instruction, index, sp, offset, report):
+    """``offset`` is the entry-relative address of the access."""
+    size = instruction.mem_size
+    if sp == 0:
+        report(
+            Severity.ERROR, PASS_BOUNDS, index,
+            f"'{instruction.op}' touches the stack with no allocated "
+            f"frame ($sp still at the entry level)",
+        )
+        return
+    if offset < sp:
+        report(
+            Severity.ERROR, PASS_BOUNDS, index,
+            f"'{instruction.op}' accesses {sp - offset} byte(s) below "
+            f"$sp (outside the live frame; the SVF treats that region "
+            f"as dead)",
+        )
+    elif offset + size > 0:
+        report(
+            Severity.ERROR, PASS_BOUNDS, index,
+            f"'{instruction.op}' overruns the frame into the caller's "
+            f"frame by {offset + size} byte(s)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# first-read: frame slots read before any write (forces an SVF fill)
+# ---------------------------------------------------------------------------
+
+
+class _WrittenBytes(SetProblem):
+    """Must-analysis: bytes of the frame definitely written so far."""
+
+    may = False
+    direction = "forward"
+
+    def __init__(self, context: FrameContext):
+        self.context = context
+
+    def step(self, cfg, index, value):
+        _written_step(self.context, index, value)
+
+
+def _written_step(context: FrameContext, index: int, value: set) -> None:
+    instruction = context.cfg.instruction(index)
+    slot = context.slot(index)
+    if instruction.is_store and slot is not None:
+        value.update(range(slot[0], slot[0] + slot[1]))
+    elif instruction.is_store or instruction.is_call:
+        # A computed-address store, or a callee holding an escaped
+        # pointer, may have initialized any aliased slot.
+        floor = context.aliased_floor
+        if floor < 0:
+            value.update(range(floor, 0))
+
+
+def first_read_pass(context: FrameContext) -> List[Diagnostic]:
+    cfg = context.cfg
+    result = solve(cfg, _WrittenBytes(context))
+    diagnostics: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.id not in context.reachable:
+            continue
+        written = result.inputs[block.id]
+        written = set() if written is None else set(written)
+        for index in block.indices():
+            instruction = cfg.instruction(index)
+            slot = context.slot(index)
+            if instruction.is_load and slot is not None:
+                offset, size = slot
+                missing = [
+                    b for b in range(offset, offset + size)
+                    if b not in written
+                ]
+                if missing:
+                    diagnostics.append(Diagnostic(
+                        Severity.WARNING, PASS_FIRST_READ, cfg.name, index,
+                        f"frame slot {offset:+d} read before any write on "
+                        f"some path; the SVF must fill this word from "
+                        f"memory (stack code is expected to write first)",
+                    ))
+            _written_step(context, index, written)
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# dead-store: frame stores never observed before frame death
+# ---------------------------------------------------------------------------
+
+
+class _LiveBytes(SetProblem):
+    """May-analysis (backward): private frame bytes later read."""
+
+    may = True
+    direction = BACKWARD
+
+    def __init__(self, context: FrameContext):
+        self.context = context
+
+    def step(self, cfg, index, value):
+        _live_step(self.context, index, value)
+
+
+def _live_step(context: FrameContext, index: int, value: set) -> None:
+    instruction = context.cfg.instruction(index)
+    slot = context.slot(index)
+    if slot is None:
+        return
+    offset, size = slot
+    if not context.is_private(offset, size):
+        return
+    if instruction.is_load:
+        value.update(range(offset, offset + size))
+    elif instruction.is_store:
+        value.difference_update(range(offset, offset + size))
+
+
+def dead_store_pass(context: FrameContext) -> List[Diagnostic]:
+    cfg = context.cfg
+    result = solve(cfg, _LiveBytes(context))
+    diagnostics: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.id not in context.reachable:
+            continue
+        live = set(result.inputs[block.id])
+        for index in reversed(list(block.indices())):
+            instruction = cfg.instruction(index)
+            slot = context.slot(index)
+            if (
+                instruction.is_store
+                and slot is not None
+                and context.is_private(*slot)
+            ):
+                offset, size = slot
+                if not live.intersection(range(offset, offset + size)):
+                    diagnostics.append(Diagnostic(
+                        Severity.INFO, PASS_DEAD_STORE, cfg.name, index,
+                        f"store to frame slot {offset:+d} is never read "
+                        f"before frame death; the SVF's dirty/valid bits "
+                        f"elide this writeback entirely",
+                    ))
+            _live_step(context, index, live)
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# escape: $sp-derived values leaving the $sp access class
+# ---------------------------------------------------------------------------
+
+
+def _escape_step(context: FrameContext, index: int, fact):
+    """One instruction over ``(tainted regs, tainted slots)``."""
+    regs, slots = fact
+    instruction = context.cfg.instruction(index)
+    op = instruction.op
+
+    def retaint(register, tainted):
+        nonlocal regs
+        if register is None or register in (SP, FP):
+            return
+        regs = regs | {register} if tainted else regs - {register}
+
+    if op == "lda":
+        retaint(instruction.rd, instruction.rb in regs or
+                instruction.rb in (SP, FP))
+    elif instruction.is_load:
+        slot = context.slot(index)
+        loaded_tainted = slot is not None and slot[0] in slots
+        retaint(instruction.rd, loaded_tainted)
+    elif instruction.is_store:
+        slot = context.slot(index)
+        value_tainted = (
+            instruction.rd in regs or instruction.rd in (SP, FP)
+        )
+        if slot is not None:
+            slots = (
+                slots | {slot[0]} if value_tainted else slots - {slot[0]}
+            )
+    elif op in _ADDRESS_PRESERVING_ALU:
+        sources = set(instruction.source_registers())
+        tainted = bool(
+            sources & (set(regs) | {SP, FP})
+        )
+        retaint(instruction.rd, tainted)
+    elif instruction.op_class.name in ("IALU", "IMULT"):
+        retaint(instruction.destination_register(), False)
+    elif instruction.is_call:
+        regs = regs - _CALLER_SAVED
+    return (regs, slots)
+
+
+class _EscapeProblem(DataflowProblem):
+    direction = "forward"
+
+    def __init__(self, context: FrameContext):
+        self.context = context
+
+    def boundary(self, cfg):
+        return (frozenset(), frozenset())
+
+    def top(self, cfg):
+        return (frozenset(), frozenset())
+
+    def meet(self, left, right):
+        return (left[0] | right[0], left[1] | right[1])
+
+    def transfer(self, cfg, block, fact):
+        for index in block.indices():
+            fact = _escape_step(self.context, index, fact)
+        return fact
+
+
+def escape_pass(context: FrameContext) -> List[Diagnostic]:
+    cfg = context.cfg
+    result = solve(cfg, _EscapeProblem(context))
+    diagnostics: List[Diagnostic] = []
+
+    def report(severity, index, message):
+        diagnostics.append(
+            Diagnostic(severity, PASS_ESCAPE, cfg.name, index, message)
+        )
+
+    for block in cfg.blocks:
+        if block.id not in context.reachable:
+            continue
+        fact = result.inputs[block.id]
+        for index in block.indices():
+            instruction = cfg.instruction(index)
+            regs, _slots = fact
+            if instruction.is_mem and instruction.rb in regs:
+                report(
+                    Severity.INFO, index,
+                    f"stack access through computed base "
+                    f"${register_name(instruction.rb)}: the paper's $gpr "
+                    f"class; the SVF must re-route it after address "
+                    f"calculation",
+                )
+            if (
+                instruction.is_store
+                and (instruction.rd in regs or instruction.rd in (SP, FP))
+                and context.slot(index) is None
+            ):
+                report(
+                    Severity.WARNING, index,
+                    "stack address stored to non-stack memory; aliases "
+                    "through it are invisible to static morphing and "
+                    "must hit the SVF's re-route path",
+                )
+            if instruction.is_call:
+                escaped_args = sorted(
+                    register for register in regs
+                    if register in ARG_REGISTERS
+                )
+                for register in escaped_args:
+                    report(
+                        Severity.INFO, index,
+                        f"stack address passed to callee in "
+                        f"${register_name(register)}; the callee's "
+                        f"accesses to it are $gpr-class",
+                    )
+            fact = _escape_step(context, index, fact)
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# structural pass + driver
+# ---------------------------------------------------------------------------
+
+
+def structure_pass(pcfg: ProgramCFG) -> List[Diagnostic]:
+    """CFG anomalies and unreachable code, as diagnostics."""
+    severity_of = {
+        "escaping-branch": Severity.ERROR,
+        "fallthrough-exit": Severity.ERROR,
+        "indirect-jump": Severity.WARNING,
+        "indirect-call": Severity.WARNING,
+    }
+    diagnostics = [
+        Diagnostic(
+            severity_of.get(anomaly.kind, Severity.WARNING),
+            PASS_CFG, anomaly.function, anomaly.index, anomaly.message,
+        )
+        for anomaly in pcfg.anomalies
+    ]
+    for function in pcfg.functions.values():
+        reachable = function.reachable_ids()
+        for block in function.blocks:
+            if block.id not in reachable:
+                diagnostics.append(Diagnostic(
+                    Severity.INFO, PASS_CFG, function.name, block.start,
+                    f"unreachable block of {len(block)} instruction(s)",
+                ))
+    diagnostics.extend(_dead_function_pass(pcfg))
+    return diagnostics
+
+
+def _dead_function_pass(pcfg: ProgramCFG) -> List[Diagnostic]:
+    """Functions unreachable from the program entry in the call graph.
+
+    A defined-but-never-called function is dead code: its frame is
+    never allocated, so its stack behaviour contributes nothing to SVF
+    traffic.  Indirect calls make the call graph incomplete, so the
+    pass stays silent when any are present.
+    """
+    if any(a.kind == "indirect-call" for a in pcfg.anomalies):
+        return []
+    entry_index = pcfg.program.labels.get(pcfg.program.entry, 0)
+    root = None
+    for name, function in pcfg.functions.items():
+        if function.start == entry_index:
+            root = name
+            break
+    if root is None:
+        return []
+    live = {root}
+    work = [root]
+    while work:
+        for callee in pcfg.call_graph.get(work.pop(), ()):
+            if callee not in live:
+                live.add(callee)
+                work.append(callee)
+    return [
+        Diagnostic(
+            Severity.INFO, PASS_CFG, function.name, function.start,
+            f"function {function.name!r} is never called "
+            f"({function.end - function.start} dead instruction(s))",
+        )
+        for function in pcfg.functions.values()
+        if function.name not in live
+    ]
+
+
+def check_function(cfg: FunctionCFG) -> List[Diagnostic]:
+    """Run every slot-level pass over one function."""
+    context, diagnostics = analyze_frames(cfg)
+    if context.sp_tracked:
+        # The slot passes canonicalize on the tracked $sp offsets; once
+        # those are lost the sp-balance errors already tell the story.
+        diagnostics.extend(first_read_pass(context))
+        diagnostics.extend(dead_store_pass(context))
+        diagnostics.extend(escape_pass(context))
+    return diagnostics
+
+
+def check_program(program, pcfg: Optional[ProgramCFG] = None) -> List[Diagnostic]:
+    """All five passes over every function of ``program``."""
+    if pcfg is None:
+        pcfg = build_cfg(program)
+    diagnostics = structure_pass(pcfg)
+    for function in pcfg.functions.values():
+        diagnostics.extend(check_function(function))
+    return diagnostics

@@ -16,6 +16,10 @@ Commands:
 ``experiment <name> [--window N]``
     regenerate one paper artifact: table1, table2, fig1, fig2, fig3,
     fig5, fig6, fig7, fig8, fig9, table3, table4.
+``lint <workload> | --all [--format text|json]``
+    statically verify stack discipline (balanced ``$sp``, frame
+    bounds, first-read, dead stores, address escapes) on compiled
+    workloads; exits nonzero when error-severity diagnostics exist.
 """
 
 from __future__ import annotations
@@ -93,6 +97,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=("asm", "run"))
     compile_parser.add_argument("--max-instructions", type=int,
                                 default=None)
+
+    lint_parser = commands.add_parser(
+        "lint", help="stack-discipline lint of compiled workloads"
+    )
+    lint_parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="benchmark to lint (default: requires --all)",
+    )
+    lint_parser.add_argument("--input", default=None)
+    lint_parser.add_argument(
+        "--all", action="store_true",
+        help="lint every registry workload (all 13 programs)",
+    )
+    lint_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+    )
+    lint_parser.add_argument(
+        "--max-info", type=int, default=None,
+        help="truncate info-severity diagnostics per workload (text)",
+    )
 
     exp_parser = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -218,6 +242,31 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        lint_all,
+        lint_workload,
+        render_reports,
+        reports_to_json,
+    )
+
+    if args.all and args.workload is not None:
+        print("lint: --all conflicts with naming a workload", file=sys.stderr)
+        return 2
+    if args.all:
+        reports = lint_all()
+    elif args.workload is not None:
+        reports = [lint_workload(args.workload, args.input)]
+    else:
+        print("lint: name a workload or pass --all", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(reports_to_json(reports))
+    else:
+        print(render_reports(reports, max_info=args.max_info))
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def cmd_experiment(args) -> int:
     window = args.window
     if args.name == "table1":
@@ -309,6 +358,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "compile": cmd_compile,
         "experiment": cmd_experiment,
+        "lint": cmd_lint,
         "report": cmd_report,
         "trace": cmd_trace,
         "replay": cmd_replay,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Optional, Tuple
 
-from repro.isa.registers import ZERO, register_name
+from repro.isa.registers import SP, ZERO, register_name
 
 
 class OpClass(Enum):
@@ -172,6 +172,16 @@ class Instruction:
     @property
     def is_return(self) -> bool:
         return self.spec.op_class is OpClass.RETURN
+
+    @property
+    def is_sp_adjust(self) -> bool:
+        """True for ``lda $sp, imm($sp)`` — the paper's TOS update."""
+        return self.op == "lda" and self.rd == SP and self.rb == SP
+
+    @property
+    def writes_sp(self) -> bool:
+        """True when this instruction writes the stack pointer."""
+        return self.destination_register() == SP
 
     def source_registers(self) -> Tuple[int, ...]:
         """Registers read by this instruction (excluding $zero)."""

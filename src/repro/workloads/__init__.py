@@ -16,6 +16,7 @@ from repro.workloads import (  # noqa: F401  (registry imports these)
     x86mix,
 )
 from repro.workloads.registry import (
+    ALL_BENCHMARKS,
     BENCHMARK_ORDER,
     TABLE1_INPUTS,
     Workload,
@@ -29,6 +30,7 @@ from repro.workloads.registry import (
 )
 
 __all__ = [
+    "ALL_BENCHMARKS",
     "BENCHMARK_ORDER",
     "TABLE1_INPUTS",
     "Workload",

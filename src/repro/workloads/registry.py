@@ -119,6 +119,10 @@ BENCHMARK_ORDER = [
     "175.vpr",
 ]
 
+#: Every registry entry, extensions included — the 13 programs the
+#: stack-discipline linter (``repro lint --all``) must keep clean.
+ALL_BENCHMARKS = BENCHMARK_ORDER + ["ext.x86mix"]
+
 #: Table 1 of the paper: benchmark -> input description.
 TABLE1_INPUTS = {
     "256.bzip2": "ref: graphic & program",

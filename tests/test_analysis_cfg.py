@@ -1,0 +1,232 @@
+"""CFG reconstruction from hand-written assembly."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.isa import assemble
+
+DIAMOND = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   a0, 0(sp)
+    beq   a0, main$else
+    lda   v0, 1(zero)
+    br    main$join
+main$else:
+    lda   v0, 2(zero)
+main$join:
+    ldq   a0, 0(sp)
+    lda   sp, 16(sp)
+    ret
+"""
+
+CALLS = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   helper
+    bsr   helper
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+helper:
+    lda   sp, -16(sp)
+    stq   a0, 0(sp)
+    bsr   leaf
+    ldq   a0, 0(sp)
+    lda   sp, 16(sp)
+    ret
+leaf:
+    lda   v0, 7(zero)
+    ret
+"""
+
+LOOP = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   zero, 0(sp)
+main$head:
+    ldq   t0, 0(sp)
+    cmplt t0, 10, t1
+    beq   t1, main$end
+    addq  t0, 1, t0
+    stq   t0, 0(sp)
+    br    main$head
+main$end:
+    lda   sp, 16(sp)
+    ret
+"""
+
+
+class TestDiamond:
+    def test_blocks_and_edges(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        function = cfg.functions["main"]
+        # entry | then | else | join
+        assert len(function.blocks) == 4
+        entry, then, other, join = function.blocks
+        assert set(entry.successors) == {then.id, other.id}
+        assert then.successors == [join.id]
+        assert other.successors == [join.id]
+        assert join.successors == []
+        assert sorted(join.predecessors) == [then.id, other.id]
+
+    def test_exit_blocks(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        function = cfg.functions["main"]
+        exits = function.exit_blocks()
+        assert len(exits) == 1
+        assert function.instruction(exits[0].end - 1).op == "ret"
+
+    def test_block_at(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        function = cfg.functions["main"]
+        assert function.block_at(0) is function.entry
+        with pytest.raises(KeyError):
+            function.block_at(999)
+
+
+class TestFunctionPartitioning:
+    def test_three_functions(self):
+        cfg = build_cfg(assemble(CALLS))
+        assert set(cfg.functions) == {"main", "helper", "leaf"}
+
+    def test_contiguous_bounds(self):
+        cfg = build_cfg(assemble(CALLS))
+        program = assemble(CALLS)
+        spans = sorted(
+            (f.start, f.end) for f in cfg.functions.values()
+        )
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(program)
+        for (_, left_end), (right_start, _) in zip(spans, spans[1:]):
+            assert left_end == right_start
+
+    def test_call_graph(self):
+        cfg = build_cfg(assemble(CALLS))
+        assert cfg.call_graph["main"] == {"helper"}
+        assert cfg.call_graph["helper"] == {"leaf"}
+        assert cfg.call_graph["leaf"] == set()
+
+    def test_call_sites_do_not_split_blocks_but_are_recorded(self):
+        cfg = build_cfg(assemble(CALLS))
+        main = cfg.functions["main"]
+        assert len(main.call_sites) == 2
+        # Straight-line code with calls stays a single block.
+        assert len(main.blocks) == 1
+
+    def test_anomaly_free(self):
+        cfg = build_cfg(assemble(CALLS))
+        assert cfg.anomalies == []
+
+    def test_uncalled_function_is_partitioned(self):
+        # A plain label nothing branches to is a function entry even
+        # without a `bsr` caller — dead functions must not be absorbed
+        # into their predecessor as unreachable code.
+        source = """
+        .text
+        main:
+            ret
+        orphan:
+            lda   sp, -16(sp)
+            lda   sp, 16(sp)
+            ret
+        """
+        cfg = build_cfg(assemble(source))
+        assert set(cfg.functions) == {"main", "orphan"}
+        assert cfg.call_graph["main"] == set()
+
+
+class TestLoop:
+    def test_back_edge(self):
+        cfg = build_cfg(assemble(LOOP))
+        function = cfg.functions["main"]
+        head = function.block_at(function.program.labels["main$head"])
+        latch_targets = [
+            block for block in function.blocks
+            if head.id in block.successors and block.start > head.start
+        ]
+        assert latch_targets, "loop latch must branch back to the head"
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg(assemble(LOOP))
+        function = cfg.functions["main"]
+        order = function.reverse_postorder()
+        assert order[0] is function.entry
+        assert len(order) == len(function.blocks)
+
+    def test_all_blocks_reachable(self):
+        cfg = build_cfg(assemble(LOOP))
+        function = cfg.functions["main"]
+        assert function.reachable_ids() == {b.id for b in function.blocks}
+
+
+class TestAnomalies:
+    def test_indirect_jump_recorded(self):
+        source = """
+        .text
+        main:
+            jmp   t0
+        """
+        cfg = build_cfg(assemble(source))
+        assert any(a.kind == "indirect-jump" for a in cfg.anomalies)
+
+    def test_indirect_call_recorded(self):
+        source = """
+        .text
+        main:
+            jsr   t0
+            ret
+        """
+        cfg = build_cfg(assemble(source))
+        assert any(a.kind == "indirect-call" for a in cfg.anomalies)
+
+    def test_fallthrough_exit_recorded(self):
+        source = """
+        .text
+        main:
+            addq  zero, 1, v0
+        """
+        cfg = build_cfg(assemble(source))
+        assert any(a.kind == "fallthrough-exit" for a in cfg.anomalies)
+
+    def test_unreachable_block_listed(self):
+        source = """
+        .text
+        main:
+            br    main$end
+            addq  zero, 1, t0
+        main$end:
+            ret
+        """
+        cfg = build_cfg(assemble(source))
+        function = cfg.functions["main"]
+        reachable = function.reachable_ids()
+        assert len(reachable) < len(function.blocks)
+
+
+class TestWorkloadCFGs:
+    def test_every_workload_builds(self):
+        from repro.workloads import ALL_BENCHMARKS, workload
+
+        for name in ALL_BENCHMARKS:
+            program = workload(name).program()
+            cfg = build_cfg(program)
+            assert "main" in cfg.functions
+            assert "__start" in cfg.functions
+            # Every instruction belongs to exactly one function.
+            covered = sum(
+                f.end - f.start for f in cfg.functions.values()
+            )
+            assert covered == len(program)
+            # The compiler never emits indirect transfers.
+            assert cfg.anomalies == []
+
+    def test_entry_function_calls_main(self):
+        from repro.workloads import workload
+
+        cfg = build_cfg(workload("gzip").program())
+        assert "main" in cfg.call_graph["__start"]

@@ -1,0 +1,205 @@
+"""Lint driver, golden suite-wide results, mutation catch, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    lint_all,
+    lint_program,
+    lint_workload,
+    render_reports,
+    reports_to_json,
+)
+from repro.cli import main
+from repro.isa import SP, Instruction
+from repro.workloads import ALL_BENCHMARKS, workload
+
+#: Diagnostic passes the generated code is *expected* to trigger at
+#: sub-error severity.  These are waivers, not defects: dead frame
+#: stores and address escapes are exactly the stack behaviour the
+#: paper's SVF machinery measures and handles (dirty-bit writeback
+#: elision, $gpr re-routing) — see DESIGN.md.
+EXPECTED_INFO_PASSES = {"dead-store", "escape", "cfg"}
+
+
+@pytest.fixture(scope="module")
+def suite_reports():
+    return lint_all()
+
+
+@pytest.mark.lint
+class TestGoldenSuite:
+    def test_covers_all_13_registry_workloads(self, suite_reports):
+        assert len(suite_reports) == len(ALL_BENCHMARKS) == 13
+
+    def test_every_workload_error_clean(self, suite_reports):
+        failed = {
+            report.name: [d.render() for d in report.errors]
+            for report in suite_reports
+            if report.errors
+        }
+        assert not failed, f"codegen broke stack discipline: {failed}"
+
+    def test_every_workload_warning_clean(self, suite_reports):
+        # Stronger than the CI gate: today's compiler output has no
+        # first-read or escape-to-memory warnings either.  If codegen
+        # legitimately changes, downgrade this to a waiver list.
+        noisy = {
+            report.name: [d.render() for d in report.warnings]
+            for report in suite_reports
+            if report.warnings
+        }
+        assert not noisy, f"unexpected warnings: {noisy}"
+
+    def test_info_diagnostics_only_from_expected_passes(self, suite_reports):
+        unexpected = [
+            (report.name, d.render())
+            for report in suite_reports
+            for d in report.infos
+            if d.pass_name not in EXPECTED_INFO_PASSES
+        ]
+        assert not unexpected
+
+    def test_linter_finds_real_stack_behaviour(self, suite_reports):
+        # The suite is not trivially silent: the SVF-relevant
+        # behaviours (elided writebacks, re-routed $gpr accesses)
+        # must show up somewhere across the 13 programs.
+        passes = {
+            d.pass_name for report in suite_reports for d in report.infos
+        }
+        assert "dead-store" in passes
+        assert "escape" in passes
+
+    def test_crafty_dead_function_found(self, suite_reports):
+        # crafty's MiniC source defines next_state but never calls it;
+        # the call-graph pass must report the dead function instead of
+        # mislabelling its body as unreachable blocks of evaluate.
+        crafty = next(r for r in suite_reports if r.name == "crafty.ref")
+        assert any(
+            d.function == "next_state" and "never called" in d.message
+            for d in crafty.infos
+        )
+
+
+class TestMutationCatch:
+    def _mutate_epilogue(self, program):
+        """Nop out one epilogue ``lda $sp, +FRAME($sp)`` restore."""
+        for index, instruction in enumerate(program.instructions):
+            if instruction.is_sp_adjust and instruction.imm > 0:
+                program.instructions[index] = Instruction("nop")
+                return index
+        raise AssertionError("no epilogue $sp restore found")
+
+    def test_dropped_epilogue_restore_is_caught(self):
+        program = workload("gzip").program()
+        assert lint_program(program).ok
+        self._mutate_epilogue(program)
+        report = lint_program(program, name="gzip-mutated")
+        assert not report.ok
+        assert any(
+            d.pass_name == "sp-balance" and "unbalanced $sp" in d.message
+            for d in report.errors
+        )
+
+    def test_corrupted_frame_size_is_caught(self):
+        program = workload("mcf").program()
+        for index, instruction in enumerate(program.instructions):
+            if instruction.is_sp_adjust and instruction.imm > 0:
+                # Restore 16 bytes too many: $sp pops above the entry.
+                program.instructions[index] = Instruction(
+                    "lda", rd=SP, rb=SP, imm=instruction.imm + 16
+                )
+                break
+        report = lint_program(program, name="mcf-mutated")
+        errors = [d for d in report.errors if d.pass_name == "sp-balance"]
+        assert errors
+
+    def test_mutated_store_out_of_frame_is_caught(self):
+        program = workload("vortex").program()
+        for index, instruction in enumerate(program.instructions):
+            if (
+                instruction.is_store
+                and instruction.rb == SP
+                and instruction.imm is not None
+            ):
+                program.instructions[index] = Instruction(
+                    instruction.op,
+                    rd=instruction.rd,
+                    rb=SP,
+                    imm=instruction.imm + 100_000,
+                )
+                break
+        report = lint_program(program, name="vortex-mutated")
+        assert any(d.pass_name == "frame-bounds" for d in report.errors)
+
+
+class TestLibraryAPI:
+    def test_lint_workload_by_short_name(self):
+        report = lint_workload("gzip")
+        assert report.name == "gzip.graphic"
+        assert report.ok
+
+    def test_render_reports_footer(self, suite_reports):
+        text = render_reports(suite_reports)
+        assert "13 workload(s) linted" in text
+
+    def test_json_roundtrip(self, suite_reports):
+        payload = json.loads(reports_to_json(suite_reports))
+        assert payload["ok"] is True
+        assert len(payload["workloads"]) == 13
+        sample = payload["workloads"][0]
+        assert {"name", "ok", "counts", "diagnostics"} <= set(sample)
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+@pytest.mark.lint
+class TestCLI:
+    def test_lint_single_workload(self, capsys):
+        assert main(["lint", "gzip"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip.graphic" in out and "clean" in out
+
+    def test_lint_all_smoke(self, capsys):
+        # The CI gate: every registry workload, all five passes,
+        # nonzero exit on any error-severity diagnostic.
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "13 workload(s) linted: 0 error(s)" in out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "crafty", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["workloads"][0]["name"] == "crafty.ref"
+
+    def test_max_info_truncates(self, capsys):
+        assert main(["lint", "eon", "--max-info", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more info diagnostics" in out
+
+    def test_requires_target(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_all_conflicts_with_workload(self, capsys):
+        assert main(["lint", "gzip", "--all"]) == 2
+
+    def test_nonzero_exit_on_errors(self, capsys, monkeypatch):
+        import repro.analysis as analysis
+        from repro.analysis.report import Diagnostic, LintReport
+
+        def fake_lint(benchmark, input_name=None, options=None):
+            return LintReport(
+                name="broken.ref",
+                diagnostics=[Diagnostic(
+                    Severity.ERROR, "sp-balance", "main", 3,
+                    "returns with unbalanced $sp (net offset -32)",
+                )],
+            )
+
+        monkeypatch.setattr(analysis, "lint_workload", fake_lint)
+        assert main(["lint", "broken"]) == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,493 @@
+"""The five SVF-safety passes on hand-written assembly."""
+
+from repro.analysis import Severity, lint_assembly
+from repro.analysis.stackcheck import (
+    PASS_BOUNDS,
+    PASS_CFG,
+    PASS_DEAD_STORE,
+    PASS_ESCAPE,
+    PASS_FIRST_READ,
+    PASS_SP,
+)
+
+CLEAN = """
+.text
+main:
+    lda   sp, -32(sp)
+    stq   ra, 0(sp)
+    stq   a0, 8(sp)
+    ldq   t0, 8(sp)
+    addq  t0, 1, t0
+    stq   t0, 8(sp)
+    ldq   t1, 8(sp)
+    print t1
+    ldq   ra, 0(sp)
+    lda   sp, 32(sp)
+    ret
+"""
+
+
+def _passes(report, pass_name, severity=None):
+    return [
+        d for d in report.diagnostics
+        if d.pass_name == pass_name
+        and (severity is None or d.severity is severity)
+    ]
+
+
+class TestCleanCode:
+    def test_no_errors_or_warnings(self):
+        report = lint_assembly(CLEAN)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_dead_stores_absent(self):
+        # Every store in CLEAN is observed by a later load.
+        report = lint_assembly(CLEAN)
+        assert _passes(report, PASS_DEAD_STORE) == []
+
+
+class TestSpBalance:
+    def test_missing_epilogue_restore(self):
+        source = """
+        .text
+        main:
+            lda   sp, -32(sp)
+            stq   a0, 0(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_SP, Severity.ERROR)
+        assert len(errors) == 1
+        assert "unbalanced $sp" in errors[0].message
+        assert "-32" in errors[0].message
+
+    def test_early_return_path_skips_epilogue(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            beq   a0, main$out
+            lda   sp, 16(sp)
+        main$out:
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_SP, Severity.ERROR)
+        assert errors, "paths disagreeing on $sp depth must be flagged"
+        assert "disagree" in errors[0].message
+
+    def test_sp_written_by_alu(self):
+        source = """
+        .text
+        main:
+            addq  zero, 64, sp
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_SP, Severity.ERROR)
+        assert any("non-$sp-relative" in e.message for e in errors)
+
+    def test_sp_popped_above_entry(self):
+        source = """
+        .text
+        main:
+            lda   sp, 16(sp)
+            lda   sp, -16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_SP, Severity.ERROR)
+        assert any("above the function entry" in e.message for e in errors)
+
+    def test_balanced_multiple_returns_ok(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            beq   a0, main$alt
+            lda   sp, 16(sp)
+            ret
+        main$alt:
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_SP, Severity.ERROR) == []
+
+
+class TestFrameBounds:
+    def test_overrun_into_caller(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   a0, 16(sp)
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_BOUNDS, Severity.ERROR)
+        assert any("caller's frame" in e.message for e in errors)
+
+    def test_partial_overrun_at_frame_edge(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   a0, 12(sp)
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_BOUNDS, Severity.ERROR)
+        assert errors, "an 8-byte store 4 bytes from the top must overrun"
+
+    def test_access_below_sp(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   a0, -8(sp)
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_BOUNDS, Severity.ERROR)
+        assert any("below $sp" in e.message for e in errors)
+
+    def test_access_with_no_frame(self):
+        source = """
+        .text
+        main:
+            stq   a0, 0(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_BOUNDS, Severity.ERROR)
+        assert any("no allocated frame" in e.message for e in errors)
+
+    def test_fp_relative_access_checked(self):
+        source = """
+        .text
+        main:
+            lda   sp, -32(sp)
+            lda   fp, 0(sp)
+            stq   a0, 40(fp)
+            lda   sp, 32(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        errors = _passes(report, PASS_BOUNDS, Severity.ERROR)
+        assert errors, "$fp aliases $sp, so 40($fp) overruns the frame"
+
+    def test_word_sized_access_at_edge_ok(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stl   a0, 12(sp)
+            ldl   t0, 12(sp)
+            print t0
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_BOUNDS, Severity.ERROR) == []
+
+
+class TestFirstRead:
+    def test_read_before_any_write(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            ldq   t0, 8(sp)
+            print t0
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        warnings = _passes(report, PASS_FIRST_READ, Severity.WARNING)
+        assert len(warnings) == 1
+        assert "read before any write" in warnings[0].message
+
+    def test_write_on_only_one_path(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            beq   a0, main$skip
+            stq   a0, 8(sp)
+        main$skip:
+            ldq   t0, 8(sp)
+            print t0
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_FIRST_READ, Severity.WARNING)
+
+    def test_write_on_both_paths_ok(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            beq   a0, main$else
+            stq   a0, 8(sp)
+            br    main$join
+        main$else:
+            stq   zero, 8(sp)
+        main$join:
+            ldq   t0, 8(sp)
+            print t0
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_FIRST_READ) == []
+
+    def test_partial_word_write_does_not_cover_quad_read(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stl   a0, 8(sp)
+            ldq   t0, 8(sp)
+            print t0
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_FIRST_READ, Severity.WARNING)
+
+
+class TestDeadStore:
+    def test_store_never_read(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   a0, 8(sp)
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_DEAD_STORE, Severity.INFO)
+        assert len(infos) == 1
+        assert "never read before frame death" in infos[0].message
+
+    def test_overwritten_store_is_dead(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   a0, 8(sp)
+            stq   a1, 8(sp)
+            ldq   t0, 8(sp)
+            print t0
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_DEAD_STORE, Severity.INFO)
+        assert len(infos) == 1
+        assert infos[0].index == 1  # the first store, not the second
+
+    def test_read_on_one_path_keeps_store(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   a0, 8(sp)
+            beq   a0, main$skip
+            ldq   t0, 8(sp)
+            print t0
+        main$skip:
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_DEAD_STORE) == []
+
+    def test_address_taken_suppresses_report(self):
+        # Once a slot's address escapes, a computed access could read
+        # it, so the pass must stay quiet (conservative).
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            lda   t1, 8(sp)
+            stq   a0, 8(sp)
+            ldq   t2, 0(t1)
+            print t2
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_DEAD_STORE) == []
+
+
+class TestEscape:
+    def test_computed_base_access_is_gpr_class(self):
+        source = """
+        .text
+        main:
+            lda   sp, -32(sp)
+            lda   t0, 8(sp)
+            addq  t0, 8, t0
+            stq   a0, 0(t0)
+            lda   sp, 32(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_ESCAPE, Severity.INFO)
+        assert any("$gpr" in d.message for d in infos)
+
+    def test_stack_address_stored_to_global(self):
+        source = """
+        .data
+        cell: .quad 0
+        .text
+        main:
+            lda   sp, -16(sp)
+            lda   t0, 8(sp)
+            lda   t1, cell
+            stq   t0, 0(t1)
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        warnings = _passes(report, PASS_ESCAPE, Severity.WARNING)
+        assert any("non-stack memory" in d.message for d in warnings)
+
+    def test_stack_address_passed_to_callee(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   ra, 0(sp)
+            lda   a0, 8(sp)
+            bsr   helper
+            ldq   ra, 0(sp)
+            lda   sp, 16(sp)
+            ret
+        helper:
+            ldq   v0, 0(a0)
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_ESCAPE, Severity.INFO)
+        assert any("passed to callee" in d.message for d in infos)
+
+    def test_spilled_address_keeps_taint_through_reload(self):
+        source = """
+        .text
+        main:
+            lda   sp, -32(sp)
+            lda   t0, 8(sp)
+            stq   t0, 16(sp)
+            ldq   t1, 16(sp)
+            ldq   t2, 0(t1)
+            print t2
+            lda   sp, 32(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_ESCAPE, Severity.INFO)
+        assert any("computed base" in d.message for d in infos), (
+            "the reload of a spilled stack address must stay tainted"
+        )
+
+    def test_comparison_drops_taint(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            lda   t0, 8(sp)
+            cmplt t0, 100, t1
+            stq   t1, 8(sp)
+            ldq   t2, 8(sp)
+            print t2
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        assert _passes(report, PASS_ESCAPE, Severity.WARNING) == []
+
+    def test_call_clobbers_temp_taint(self):
+        source = """
+        .text
+        main:
+            lda   sp, -16(sp)
+            stq   ra, 0(sp)
+            lda   t0, 8(sp)
+            bsr   helper
+            stq   t0, 8(sp)
+            ldq   ra, 0(sp)
+            lda   sp, 16(sp)
+            ret
+        helper:
+            lda   v0, 1(zero)
+            ret
+        """
+        report = lint_assembly(source)
+        # After the call t0 is a clobbered temp: storing it to the
+        # frame is not an address spill, so no taint survives into
+        # slot 8 and no computed-base/info diagnostics follow.
+        infos = _passes(report, PASS_ESCAPE, Severity.INFO)
+        assert all("passed to callee" not in d.message for d in infos)
+
+
+class TestStructure:
+    def test_unreachable_code_reported(self):
+        source = """
+        .text
+        main:
+            br    main$done
+            addq  zero, 1, t0
+        main$done:
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_CFG, Severity.INFO)
+        assert any("unreachable" in d.message for d in infos)
+
+    def test_uncalled_function_reported(self):
+        source = """
+        .text
+        main:
+            ret
+        orphan:
+            lda   sp, -16(sp)
+            lda   sp, 16(sp)
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_CFG, Severity.INFO)
+        assert any("never called" in d.message for d in infos)
+
+    def test_indirect_call_silences_dead_function_pass(self):
+        # An indirect call could reach anything, so no function may be
+        # declared dead once the call graph is incomplete.
+        source = """
+        .text
+        main:
+            jsr   t0
+            ret
+        orphan:
+            ret
+        """
+        report = lint_assembly(source)
+        infos = _passes(report, PASS_CFG, Severity.INFO)
+        assert all("never called" not in d.message for d in infos)
+
+    def test_indirect_jump_warns(self):
+        source = """
+        .text
+        main:
+            jmp   t0
+        """
+        report = lint_assembly(source)
+        warnings = _passes(report, PASS_CFG, Severity.WARNING)
+        assert any("indirect jump" in d.message for d in warnings)
