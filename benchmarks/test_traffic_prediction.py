@@ -1,0 +1,36 @@
+"""Predicted vs measured SVF traffic, -O0 vs -O1 (tentpole artifact).
+
+Unlike the windowed benchmarks, every workload runs to completion at
+both optimization levels: the acceptance property is *bit-identical
+program outputs* with reduced dynamic ``$sp``-relative traffic, which
+only a full run can certify.  On top of the measurement, the static
+per-function bounds of ``repro.analysis.predict`` must dominate the
+simulator's ``fills_avoided`` / ``killed_dirty_words`` counters —
+predicted >= measured on every workload at every level.
+"""
+
+from repro.harness.prediction import traffic_prediction_report
+
+
+def test_traffic_prediction(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: traffic_prediction_report(max_instructions=None),
+        rounds=1,
+        iterations=1,
+    )
+    emit("traffic_prediction", report.render())
+
+    assert len(report.rows) == 13
+
+    # Every workload must compute the same thing at both levels.
+    differing = [r.name for r in report.rows if not r.outputs_identical]
+    assert not differing, f"-O1 changed program outputs: {differing}"
+
+    # Acceptance: >= 8 of 13 workloads reduce $sp-relative traffic.
+    assert report.workloads_reduced >= 8, (
+        f"only {report.workloads_reduced}/13 workloads reduced traffic"
+    )
+
+    # Soundness: the static bounds dominate the dynamic counters.
+    violated = [r.name for r in report.rows if not r.bounds_hold]
+    assert not violated, f"predictor bounds violated on: {violated}"

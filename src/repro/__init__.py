@@ -15,35 +15,64 @@ Layers, bottom-up:
 * :mod:`repro.workloads` — the SPECint2000-inspired suite (Table 1);
 * :mod:`repro.harness` — one experiment driver per table/figure.
 
-Quick start::
+The stable entry points live in :mod:`repro.api` (re-exported here):
+frozen option objects plus the verbs ``compile_source``,
+``run_workload``, ``characterize``, ``simulate``, ``lint`` and
+``experiment``.  Quick start::
 
-    from repro.workloads import workload
-    from repro.uarch import table2_config, simulate
+    from repro import MachineSpec, simulate, workload
 
     trace = workload("crafty").trace(max_instructions=50_000)
-    base = table2_config(16)
-    svf = base.with_svf(mode="svf", ports=2)
-    print(simulate(trace, svf).speedup_over(simulate(trace, base)))
+    base = simulate(trace, MachineSpec())
+    svf = simulate(trace, MachineSpec(svf_mode="svf"))
+    print(svf.speedup_over(base))
+
+The older explicit form (``table2_config(16)`` /
+``config.with_svf(...)`` / ``uarch.simulate``) keeps working —
+:func:`repro.api.simulate` accepts a raw :class:`MachineConfig` too.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.analysis import LintReport, Severity, lint_all, lint_program
+from repro.api import (
+    SCHEMA_VERSION,
+    CompileOptions,
+    ExperimentResult,
+    MachineSpec,
+    RunResult,
+    characterize,
+    compile_source,
+    experiment,
+    lint,
+    run_workload,
+    simulate,
+)
 from repro.core import StackCache, StackValueFile
-from repro.uarch import MachineConfig, SimStats, simulate, table2_config
+from repro.uarch import MachineConfig, SimStats, table2_config
 from repro.workloads import all_workloads, workload
 
 __all__ = [
+    "CompileOptions",
+    "ExperimentResult",
     "LintReport",
     "MachineConfig",
+    "MachineSpec",
+    "RunResult",
+    "SCHEMA_VERSION",
     "Severity",
     "SimStats",
     "StackCache",
     "StackValueFile",
     "__version__",
     "all_workloads",
+    "characterize",
+    "compile_source",
+    "experiment",
+    "lint",
     "lint_all",
     "lint_program",
+    "run_workload",
     "simulate",
     "table2_config",
     "workload",

@@ -179,7 +179,13 @@ def render_reports(reports: List[LintReport],
 
 
 def reports_to_json(reports: List[LintReport], indent: int = 2) -> str:
+    """Versioned JSON payload for a list of lint reports."""
+    # Lazy import: repro.api sits above this module in the layering
+    # but owns the one schema version every JSON payload carries.
+    from repro.api import SCHEMA_VERSION
+
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "ok": all(report.ok for report in reports),
         "workloads": [report.to_dict() for report in reports],
     }

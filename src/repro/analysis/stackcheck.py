@@ -388,6 +388,7 @@ def _written_step(context: FrameContext, index: int, value: set) -> None:
 
 
 def first_read_pass(context: FrameContext) -> List[Diagnostic]:
+    """Flag frame reads that can happen before any write (forces a fill)."""
     cfg = context.cfg
     result = solve(cfg, _WrittenBytes(context))
     diagnostics: List[Diagnostic] = []
@@ -449,6 +450,7 @@ def _live_step(context: FrameContext, index: int, value: set) -> None:
 
 
 def dead_store_pass(context: FrameContext) -> List[Diagnostic]:
+    """Flag frame stores whose bytes are never read before frame death."""
     cfg = context.cfg
     result = solve(cfg, _LiveBytes(context))
     diagnostics: List[Diagnostic] = []
@@ -544,6 +546,7 @@ class _EscapeProblem(DataflowProblem):
 
 
 def escape_pass(context: FrameContext) -> List[Diagnostic]:
+    """Flag stack addresses that escape to registers, calls or memory."""
     cfg = context.cfg
     result = solve(cfg, _EscapeProblem(context))
     diagnostics: List[Diagnostic] = []

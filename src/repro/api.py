@@ -1,0 +1,329 @@
+"""Stable typed facade over the reproduction toolkit.
+
+Every entry point external callers (and the CLI) need, behind frozen
+option objects with explicit defaults:
+
+* :class:`CompileOptions` — MiniC compilation knobs, including the
+  ``opt_level`` gate for the dataflow optimizer of
+  :mod:`repro.lang.opt`;
+* :class:`MachineSpec` — a declarative wrapper over the Table-2
+  machine models and their stack-unit steering;
+* :func:`compile_source`, :func:`run_workload`, :func:`characterize`,
+  :func:`simulate`, :func:`lint`, :func:`experiment` — the verbs.
+
+The facade is the *stability boundary*: subsystem modules underneath
+may reshuffle freely, but signatures here only grow.  Machine-readable
+outputs derived from these calls carry ``schema_version`` (see
+:data:`SCHEMA_VERSION`) so downstream consumers can detect payload
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.lint import lint_all, lint_program, lint_workload
+from repro.analysis.report import LintReport
+from repro.harness.experiments import (
+    CharacterizationResult,
+    characterize as _characterize,
+    fig5_ideal_morphing,
+    fig6_progressive,
+    fig7_svf_vs_stack_cache,
+    fig9_svf_speedup,
+    table1_workloads,
+    table2_models,
+    table3_memory_traffic,
+    table4_context_switch,
+)
+from repro.isa.instructions import Program
+from repro.lang.codegen import (
+    CodegenOptions,
+    compile_program,
+    compile_to_assembly,
+)
+from repro.uarch.config import MachineConfig, table2_config
+from repro.uarch.pipeline import SimStats, simulate as _simulate
+from repro.workloads.registry import workload as _workload
+
+#: Version stamped into every machine-readable (JSON) payload the
+#: toolkit emits.  Bump on any breaking change to a payload shape.
+SCHEMA_VERSION = 1
+
+#: Valid ``experiment`` names (paper tables and figures).
+EXPERIMENT_NAMES = (
+    "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "table3", "table4",
+)
+
+
+def versioned(payload: Dict) -> Dict:
+    """Return ``payload`` with the ``schema_version`` envelope field."""
+    return {"schema_version": SCHEMA_VERSION, **payload}
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Frozen MiniC compilation options (facade form of codegen knobs).
+
+    ``fp_frames`` and ``promoted_locals`` shape the stack-reference
+    mix exactly as :class:`repro.lang.codegen.CodegenOptions`
+    documents; ``opt_level`` gates the dataflow optimizer pipeline
+    (0 = naive stack-machine code, the golden default; 1 = run
+    :func:`repro.lang.opt.optimize_program` over the assembled
+    program).
+    """
+
+    fp_frames: bool = True
+    promoted_locals: int = 4
+    opt_level: int = 0
+
+    def __post_init__(self):
+        if self.opt_level not in (0, 1):
+            raise ValueError(
+                f"opt_level must be 0 or 1, not {self.opt_level!r}"
+            )
+
+    def codegen(self) -> CodegenOptions:
+        """The equivalent low-level :class:`CodegenOptions`."""
+        return CodegenOptions(
+            fp_frames=self.fp_frames,
+            promoted_locals=self.promoted_locals,
+            opt_level=self.opt_level,
+        )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Frozen declarative machine description (Table 2 + stack unit).
+
+    Wraps the ``table2_config(width, **overrides)`` /
+    ``config.with_svf(...)`` construction idiom in one flat record:
+    ``width`` picks the Table-2 column, ``svf_mode`` attaches a stack
+    unit (``"none"``, ``"svf"``, ``"ideal"``, ``"stack_cache"``), and
+    the remaining fields are the knobs experiments actually vary.
+    """
+
+    width: int = 16
+    dl1_ports: int = 2
+    branch_predictor: str = "perfect"
+    svf_mode: str = "none"
+    svf_ports: int = 2
+    svf_capacity: int = 8192
+    no_squash: bool = False
+
+    def config(self) -> MachineConfig:
+        """Materialize the equivalent :class:`MachineConfig`."""
+        base = table2_config(
+            self.width,
+            dl1_ports=self.dl1_ports,
+            branch_predictor=self.branch_predictor,
+        )
+        if self.svf_mode == "none":
+            return base
+        return base.with_svf(
+            mode=self.svf_mode,
+            ports=self.svf_ports,
+            capacity_bytes=self.svf_capacity,
+            no_squash=self.no_squash,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one functional-emulator run of a workload."""
+
+    workload: str
+    instructions: int
+    halted: bool
+    #: values printed by the program (the emulator's ``print`` channel)
+    output: Sequence[int]
+    return_value: int
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One rendered paper artifact (table/figure) with its provenance."""
+
+    name: str
+    window: Optional[int]
+    text: str
+
+    def render(self) -> str:
+        """The human-readable artifact text."""
+        return self.text
+
+    def to_json(self, indent: int = 2) -> str:
+        """Versioned machine-readable envelope of the artifact."""
+        return json.dumps(versioned({
+            "kind": "experiment",
+            "experiment": self.name,
+            "window": self.window,
+            "text": self.text,
+        }), indent=indent)
+
+
+def _codegen_options(
+    options: Optional[Union[CompileOptions, CodegenOptions]]
+) -> Optional[CodegenOptions]:
+    if options is None or isinstance(options, CodegenOptions):
+        return options
+    return options.codegen()
+
+
+def compile_source(
+    source: str,
+    options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+    emit: str = "program",
+) -> Union[Program, str]:
+    """Compile MiniC source; ``emit`` picks ``"program"`` or ``"asm"``."""
+    if emit not in ("program", "asm"):
+        raise ValueError(f"emit must be 'program' or 'asm', not {emit!r}")
+    resolved = _codegen_options(options)
+    if emit == "asm":
+        return compile_to_assembly(source, resolved)
+    return compile_program(source, resolved)
+
+
+def run_workload(
+    benchmark: str,
+    input_name: Optional[str] = None,
+    options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+    max_instructions: Optional[int] = None,
+    trace_sink=None,
+) -> RunResult:
+    """Compile and execute one registry workload on the emulator."""
+    from repro.isa.registers import V0
+
+    work = _workload(benchmark, input_name)
+    machine = work.run(
+        max_instructions=max_instructions,
+        trace_sink=trace_sink,
+        options=_codegen_options(options),
+    )
+    return RunResult(
+        workload=work.full_name,
+        instructions=machine.instruction_count,
+        halted=machine.halted,
+        output=tuple(machine.output),
+        return_value=machine.registers[V0],
+    )
+
+
+def characterize(
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 100_000,
+) -> CharacterizationResult:
+    """Run the Figure 1-3 characterization over (part of) the suite."""
+    if benchmarks:
+        benchmarks = [_workload(name).name for name in benchmarks]
+    return _characterize(
+        benchmarks=benchmarks or None, max_instructions=max_instructions
+    )
+
+
+def simulate(
+    trace: Union[str, Sequence],
+    machine: Optional[Union[MachineSpec, MachineConfig]] = None,
+    input_name: Optional[str] = None,
+    max_instructions: int = 60_000,
+    options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+) -> SimStats:
+    """Time a trace (or a workload named by string) on a machine.
+
+    ``trace`` is either a finished record sequence or a workload name
+    to compile, execute and trace first; ``machine`` is a
+    :class:`MachineSpec`, a raw :class:`MachineConfig` (so the
+    long-standing ``simulate(trace, table2_config(16))`` idiom keeps
+    working), or ``None`` for the default 16-wide baseline.
+    """
+    if isinstance(trace, str):
+        trace = _workload(trace, input_name).trace(
+            max_instructions=max_instructions,
+            options=_codegen_options(options),
+        )
+    if machine is None:
+        machine = MachineSpec()
+    if isinstance(machine, MachineSpec):
+        machine = machine.config()
+    return _simulate(trace, machine)
+
+
+def lint(
+    target: Optional[Union[str, Program]] = None,
+    input_name: Optional[str] = None,
+    options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+) -> List[LintReport]:
+    """Stack-discipline lint; always returns a list of reports.
+
+    ``target`` is a workload name, an assembled :class:`Program`, or
+    ``None`` to lint the entire registry suite.
+    """
+    resolved = _codegen_options(options)
+    if target is None:
+        return lint_all(options=resolved)
+    if isinstance(target, Program):
+        return [lint_program(target)]
+    return [lint_workload(target, input_name, options=resolved)]
+
+
+def lint_json(reports: List[LintReport], indent: int = 2) -> str:
+    """Versioned JSON payload for a list of lint reports."""
+    return json.dumps(versioned({
+        "kind": "lint",
+        "ok": all(report.ok for report in reports),
+        "workloads": [report.to_dict() for report in reports],
+    }), indent=indent)
+
+
+def experiment(name: str, window: Optional[int] = None) -> ExperimentResult:
+    """Regenerate one paper artifact by name (see EXPERIMENT_NAMES)."""
+    if name not in EXPERIMENT_NAMES:
+        raise ValueError(
+            f"unknown experiment {name!r} (have {', '.join(EXPERIMENT_NAMES)})"
+        )
+    if name == "table1":
+        text = table1_workloads()
+    elif name == "table2":
+        text = table2_models()
+    elif name in ("fig1", "fig2", "fig3"):
+        result = _characterize(max_instructions=window or 120_000)
+        text = {
+            "fig1": result.render_fig1,
+            "fig2": result.render_fig2,
+            "fig3": result.render_fig3,
+        }[name]()
+    elif name == "fig5":
+        text = fig5_ideal_morphing(max_instructions=window or 60_000).render()
+    elif name == "fig6":
+        text = fig6_progressive(max_instructions=window or 60_000).render()
+    elif name in ("fig7", "fig8"):
+        result = fig7_svf_vs_stack_cache(max_instructions=window or 60_000)
+        text = result.render() if name == "fig7" else result.render_fig8()
+    elif name == "fig9":
+        text = fig9_svf_speedup(max_instructions=window or 60_000).render()
+    elif name == "table3":
+        text = table3_memory_traffic(max_instructions=window or 120_000).render()
+    else:  # table4
+        text = table4_context_switch(max_instructions=window or 120_000).render()
+    return ExperimentResult(name=name, window=window, text=text)
+
+
+__all__ = [
+    "CompileOptions",
+    "EXPERIMENT_NAMES",
+    "ExperimentResult",
+    "MachineSpec",
+    "RunResult",
+    "SCHEMA_VERSION",
+    "characterize",
+    "compile_source",
+    "experiment",
+    "lint",
+    "lint_json",
+    "run_workload",
+    "simulate",
+    "versioned",
+]

@@ -4,48 +4,39 @@ Commands:
 
 ``list``
     list the workload suite (benchmarks, inputs, descriptions).
-``run <workload> [--input NAME] [--max-instructions N]``
+``run <workload> [--input NAME] [-O LEVEL] [--max-instructions N]``
     compile and execute a workload on the functional emulator.
-``characterize [<workload> ...] [--max-instructions N]``
+``characterize [<workload> ...] [--format text|json]``
     Figures 1-3 for the chosen workloads (default: whole suite).
 ``simulate <workload> [--width W] [--svf MODE] [--ports P] ...``
     time one workload on a Table-2 machine, optionally with a stack
     unit attached, and report cycles/IPC (plus speedup vs baseline).
-``compile <file.mc> [--emit asm|trace]``
+``compile <file.mc> [--emit asm|trace] [-O LEVEL]``
     compile a MiniC source file; print assembly or run and trace.
-``experiment <name> [--window N]``
+``experiment <name> [--window N] [--format text|json]``
     regenerate one paper artifact: table1, table2, fig1, fig2, fig3,
     fig5, fig6, fig7, fig8, fig9, table3, table4.
-``lint <workload> | --all [--format text|json]``
+``lint <workload> | --all [-O LEVEL] [--format text|json]``
     statically verify stack discipline (balanced ``$sp``, frame
     bounds, first-read, dead stores, address escapes) on compiled
     workloads; exits nonzero when error-severity diagnostics exist.
+
+Exit codes are uniform across commands: 0 success, 1 the command ran
+but found failures (lint errors), 2 usage errors — unknown workload or
+input names, missing files — reported as a one-line message on stderr,
+never a traceback.  All subsystem access goes through the stable
+:mod:`repro.api` facade; JSON outputs carry its ``schema_version``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.harness import (
-    characterize,
-    fig5_ideal_morphing,
-    fig6_progressive,
-    fig7_svf_vs_stack_cache,
-    fig9_svf_speedup,
-    table1_workloads,
-    table2_models,
-    table3_memory_traffic,
-    table4_context_switch,
-)
-from repro.uarch import simulate, table2_config
+from repro import api
 from repro.workloads import BENCHMARK_ORDER, input_names, workload
-
-EXPERIMENTS = (
-    "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig6",
-    "fig7", "fig8", "fig9", "table3", "table4",
-)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,12 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def opt_flag(subparser):
+        subparser.add_argument(
+            "-O", "--opt-level", type=int, default=0, choices=(0, 1),
+            help="optimizer level (0 = naive codegen, 1 = dataflow passes)",
+        )
+
     commands.add_parser("list", help="list the workload suite")
 
     run_parser = commands.add_parser("run", help="execute a workload")
     run_parser.add_argument("workload")
     run_parser.add_argument("--input", default=None)
     run_parser.add_argument("--max-instructions", type=int, default=None)
+    opt_flag(run_parser)
 
     char_parser = commands.add_parser(
         "characterize", help="Figures 1-3 analyses"
@@ -68,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     char_parser.add_argument("workloads", nargs="*")
     char_parser.add_argument(
         "--max-instructions", type=int, default=100_000
+    )
+    char_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
     )
 
     sim_parser = commands.add_parser(
@@ -88,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--predictor", default="perfect",
                             choices=("perfect", "gshare"))
     sim_parser.add_argument("--max-instructions", type=int, default=60_000)
+    opt_flag(sim_parser)
 
     compile_parser = commands.add_parser(
         "compile", help="compile a MiniC source file"
@@ -97,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=("asm", "run"))
     compile_parser.add_argument("--max-instructions", type=int,
                                 default=None)
+    opt_flag(compile_parser)
 
     lint_parser = commands.add_parser(
         "lint", help="stack-discipline lint of compiled workloads"
@@ -117,12 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-info", type=int, default=None,
         help="truncate info-severity diagnostics per workload (text)",
     )
+    opt_flag(lint_parser)
 
     exp_parser = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
-    exp_parser.add_argument("name", choices=EXPERIMENTS)
+    exp_parser.add_argument("name", choices=api.EXPERIMENT_NAMES)
     exp_parser.add_argument("--window", type=int, default=None)
+    exp_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+    )
 
     report_parser = commands.add_parser(
         "report", help="run every experiment and write one markdown report"
@@ -145,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--input", default=None)
     trace_parser.add_argument("--max-instructions", type=int,
                               default=100_000)
+    opt_flag(trace_parser)
 
     replay_parser = commands.add_parser(
         "replay", help="time a recorded trace on a machine config"
@@ -160,8 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str) -> int:
+    """Uniform one-line usage error: stderr message, exit code 2."""
+    print(f"repro: {message}", file=sys.stderr)
+    return 2
+
+
+def _compile_options(args) -> api.CompileOptions:
+    return api.CompileOptions(opt_level=getattr(args, "opt_level", 0))
+
+
 def cmd_list(_args) -> int:
-    print(table1_workloads())
+    print(api.experiment("table1").render())
     print()
     for name in BENCHMARK_ORDER:
         print(f"{name}: inputs = {', '.join(input_names(name))}")
@@ -169,50 +187,73 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    work = workload(args.workload, args.input)
-    machine = work.run(max_instructions=args.max_instructions)
-    print(f"{work.full_name}: {machine.instruction_count:,} instructions, "
-          f"halted={machine.halted}")
-    print(f"output: {machine.output}")
+    try:
+        result = api.run_workload(
+            args.workload,
+            args.input,
+            options=_compile_options(args),
+            max_instructions=args.max_instructions,
+        )
+    except KeyError as exc:
+        return _fail(exc.args[0])
+    print(f"{result.workload}: {result.instructions:,} instructions, "
+          f"halted={result.halted}")
+    print(f"output: {list(result.output)}")
     return 0
 
 
 def cmd_characterize(args) -> int:
-    benchmarks = args.workloads or None
-    if benchmarks:
-        benchmarks = [workload(name).name for name in benchmarks]
-    result = characterize(
-        benchmarks=benchmarks, max_instructions=args.max_instructions
-    )
-    print(result.render_fig1())
-    print()
-    print(result.render_fig2())
-    print()
-    print(result.render_fig3())
+    try:
+        result = api.characterize(
+            benchmarks=args.workloads or None,
+            max_instructions=args.max_instructions,
+        )
+    except KeyError as exc:
+        return _fail(exc.args[0])
+    renders = {
+        "fig1": result.render_fig1(),
+        "fig2": result.render_fig2(),
+        "fig3": result.render_fig3(),
+    }
+    if args.format == "json":
+        print(json.dumps(api.versioned(
+            {"kind": "characterize", "figures": renders}
+        ), indent=2))
+    else:
+        print("\n\n".join(renders.values()))
     return 0
 
 
 def cmd_simulate(args) -> int:
-    work = workload(args.workload, args.input)
-    trace = work.trace(max_instructions=args.max_instructions)
-    base = table2_config(
-        args.width,
+    try:
+        work = workload(args.workload, args.input)
+    except KeyError as exc:
+        return _fail(exc.args[0])
+    options = _compile_options(args)
+    trace = work.trace(
+        max_instructions=args.max_instructions, options=options.codegen()
+    )
+    base_spec = api.MachineSpec(
+        width=args.width,
         dl1_ports=args.dl1_ports,
         branch_predictor=args.predictor,
     )
-    baseline = simulate(trace, base)
-    print(f"{work.full_name} on {base.name} "
+    baseline = api.simulate(trace, base_spec)
+    print(f"{work.full_name} on {base_spec.config().name} "
           f"({len(trace):,}-instruction window)")
     print(f"baseline: {baseline.cycles:,} cycles, IPC {baseline.ipc:.2f}")
     if args.svf == "none":
         return 0
-    config = base.with_svf(
-        mode=args.svf,
-        ports=args.ports,
-        capacity_bytes=args.capacity,
+    spec = api.MachineSpec(
+        width=args.width,
+        dl1_ports=args.dl1_ports,
+        branch_predictor=args.predictor,
+        svf_mode=args.svf,
+        svf_ports=args.ports,
+        svf_capacity=args.capacity,
         no_squash=args.no_squash,
     )
-    run = simulate(trace, config)
+    run = api.simulate(trace, spec)
     speedup = run.speedup_over(baseline)
     print(f"{args.svf:8s}: {run.cycles:,} cycles, IPC {run.ipc:.2f}, "
           f"speedup {(speedup - 1) * 100:+.1f}%")
@@ -226,15 +267,19 @@ def cmd_simulate(args) -> int:
 
 def cmd_compile(args) -> int:
     from repro.emulator import run_program
-    from repro.lang import compile_program, compile_to_assembly
 
-    with open(args.source) as handle:
-        source = handle.read()
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except FileNotFoundError:
+        return _fail(f"no such source file: {args.source}")
+    options = _compile_options(args)
     if args.emit == "asm":
-        print(compile_to_assembly(source))
+        print(api.compile_source(source, options, emit="asm"))
         return 0
-    machine, trace = run_program(
-        compile_program(source), max_instructions=args.max_instructions
+    machine, _trace = run_program(
+        api.compile_source(source, options),
+        max_instructions=args.max_instructions,
     )
     print(f"{machine.instruction_count:,} instructions, "
           f"halted={machine.halted}")
@@ -243,60 +288,30 @@ def cmd_compile(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis import (
-        lint_all,
-        lint_workload,
-        render_reports,
-        reports_to_json,
-    )
+    from repro.analysis import render_reports
 
     if args.all and args.workload is not None:
-        print("lint: --all conflicts with naming a workload", file=sys.stderr)
-        return 2
-    if args.all:
-        reports = lint_all()
-    elif args.workload is not None:
-        reports = [lint_workload(args.workload, args.input)]
-    else:
-        print("lint: name a workload or pass --all", file=sys.stderr)
-        return 2
+        return _fail("lint: --all conflicts with naming a workload")
+    options = _compile_options(args)
+    try:
+        if args.all:
+            reports = api.lint(options=options)
+        elif args.workload is not None:
+            reports = api.lint(args.workload, args.input, options=options)
+        else:
+            return _fail("lint: name a workload or pass --all")
+    except KeyError as exc:
+        return _fail(exc.args[0])
     if args.format == "json":
-        print(reports_to_json(reports))
+        print(api.lint_json(reports))
     else:
         print(render_reports(reports, max_info=args.max_info))
     return 0 if all(report.ok for report in reports) else 1
 
 
 def cmd_experiment(args) -> int:
-    window = args.window
-    if args.name == "table1":
-        print(table1_workloads())
-    elif args.name == "table2":
-        print(table2_models())
-    elif args.name in ("fig1", "fig2", "fig3"):
-        result = characterize(max_instructions=window or 120_000)
-        render = {
-            "fig1": result.render_fig1,
-            "fig2": result.render_fig2,
-            "fig3": result.render_fig3,
-        }[args.name]
-        print(render())
-    elif args.name == "fig5":
-        print(fig5_ideal_morphing(max_instructions=window or 60_000).render())
-    elif args.name == "fig6":
-        print(fig6_progressive(max_instructions=window or 60_000).render())
-    elif args.name in ("fig7", "fig8"):
-        result = fig7_svf_vs_stack_cache(max_instructions=window or 60_000)
-        print(result.render() if args.name == "fig7"
-              else result.render_fig8())
-    elif args.name == "fig9":
-        print(fig9_svf_speedup(max_instructions=window or 60_000).render())
-    elif args.name == "table3":
-        print(table3_memory_traffic(max_instructions=window or 120_000)
-              .render())
-    elif args.name == "table4":
-        print(table4_context_switch(max_instructions=window or 120_000)
-              .render())
+    result = api.experiment(args.name, window=args.window)
+    print(result.to_json() if args.format == "json" else result.render())
     return 0
 
 
@@ -304,8 +319,11 @@ def cmd_report(args) -> int:
     from repro.harness.runall import generate_report
 
     benchmarks = args.benchmarks or None
-    if benchmarks:
-        benchmarks = [workload(name).name for name in benchmarks]
+    try:
+        if benchmarks:
+            benchmarks = [workload(name).name for name in benchmarks]
+    except KeyError as exc:
+        return _fail(exc.args[0])
     text = generate_report(
         timing_window=args.timing_window,
         functional_window=args.functional_window,
@@ -321,11 +339,17 @@ def cmd_report(args) -> int:
 def cmd_trace(args) -> int:
     from repro.trace import TraceWriter
 
-    work = workload(args.workload, args.input)
+    try:
+        work = workload(args.workload, args.input)
+    except KeyError as exc:
+        return _fail(exc.args[0])
+    options = _compile_options(args)
     with open(args.output, "wb") as stream:
         writer = TraceWriter(stream)
         work.run(
-            max_instructions=args.max_instructions, trace_sink=writer
+            max_instructions=args.max_instructions,
+            trace_sink=writer,
+            options=options.codegen(),
         )
     print(f"wrote {writer.count:,} records to {args.output}")
     return 0
@@ -334,14 +358,20 @@ def cmd_trace(args) -> int:
 def cmd_replay(args) -> int:
     from repro.trace import load_trace
 
-    trace = load_trace(args.trace_file)
-    base = table2_config(args.width)
-    baseline = simulate(trace, base)
+    try:
+        trace = load_trace(args.trace_file)
+    except FileNotFoundError:
+        return _fail(f"no such trace file: {args.trace_file}")
+    base = api.MachineSpec(width=args.width)
+    baseline = api.simulate(trace, base)
     print(f"{args.trace_file}: {len(trace):,} instructions")
     print(f"baseline: {baseline.cycles:,} cycles, IPC {baseline.ipc:.2f}")
     if args.svf != "none":
-        run = simulate(
-            trace, base.with_svf(mode=args.svf, ports=args.ports)
+        run = api.simulate(
+            trace,
+            api.MachineSpec(
+                width=args.width, svf_mode=args.svf, svf_ports=args.ports
+            ),
         )
         speedup = run.speedup_over(baseline)
         print(f"{args.svf}: {run.cycles:,} cycles, "

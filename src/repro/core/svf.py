@@ -77,6 +77,11 @@ class StackValueFile:
         self.tos: Optional[int] = None
         #: covered quad-word address -> dirty flag (absent = invalid)
         self._words: Dict[int, bool] = {}
+        #: granule addresses exposed by a TOS decrease and not yet
+        #: validated — "freshly allocated" stack whose fill the valid
+        #: bits can skip.  Granules re-entering after an eviction or a
+        #: shrink are *not* fresh: their memory image is live.
+        self._fresh: set = set()
         # Traffic counters (quad-words between the SVF and the L1).
         self.qw_in = 0
         self.qw_out = 0
@@ -86,6 +91,14 @@ class StackValueFile:
         self.out_of_range = 0
         self.killed_words = 0
         self.context_switches = 0
+        #: full-granule stores that validated a *fresh* granule — the
+        #: fill reads a conventional write-allocate cache would have
+        #: issued for newly allocated frame words (checked against the
+        #: static per-function bounds of repro.analysis.predict).
+        self.fills_avoided = 0
+        #: subset of killed_words that were dirty — the writebacks the
+        #: kill actually elided (Table 3's traffic win at frame death).
+        self.killed_dirty_words = 0
 
     # -- geometry ------------------------------------------------------------
 
@@ -130,6 +143,13 @@ class StackValueFile:
             lo = max(new_sp + self.capacity, new_sp)
             hi = old + self.capacity
             written = self._evict_range(lo, hi, writeback=True)
+            # Words entering at the bottom are freshly allocated frame
+            # space: invalid, and a full-granule store may validate
+            # them without any fill.
+            granularity = self.granularity
+            fresh_hi = min(old, new_sp + self.capacity)
+            start = new_sp & ~(granularity - 1)
+            self._fresh.update(range(start, fresh_hi, granularity))
         else:
             # Stack shrinks: words between old and new TOS die.
             kill_hi = min(new_sp, old + self.capacity)
@@ -150,8 +170,8 @@ class StackValueFile:
         words_per_granule = granularity // self.WORD
         written = 0
         span_granules = (hi - lo) // granularity + 2
+        start = lo & ~(granularity - 1)
         if span_granules < len(self._words):
-            start = lo & ~(granularity - 1)
             addresses = [
                 a
                 for a in range(start, hi, granularity)
@@ -167,6 +187,16 @@ class StackValueFile:
                     self.writeback_sink(addr)
             elif not writeback:
                 self.killed_words += words_per_granule
+                if dirty:
+                    self.killed_dirty_words += words_per_granule
+        # Granules leaving coverage (either edge) are no longer fresh.
+        if len(self._fresh) > span_granules:
+            for addr in range(start, hi, granularity):
+                self._fresh.discard(addr)
+        else:
+            self._fresh.difference_update(
+                a for a in list(self._fresh) if lo - granularity < a < hi
+            )
         self.qw_out += written
         return written
 
@@ -186,11 +216,17 @@ class StackValueFile:
                 # fill (never happens at the natural 8-byte/quad-word
                 # granularity for quad-word stores).
                 filled = self.granularity // self.WORD
+            elif not valid and granule in self._fresh:
+                # Full-granule store validating freshly allocated stack
+                # without any fill: the win the valid bits exist for.
+                self.fills_avoided += 1
             self._words[granule] = True
         else:
             if not valid:
                 filled = self.granularity // self.WORD
                 self._words[granule] = False
+        if not valid:
+            self._fresh.discard(granule)
         self.qw_in += filled
         if filled:
             self.fills += 1
@@ -214,6 +250,7 @@ class StackValueFile:
                 if self.writeback_sink is not None:
                     self.writeback_sink(addr)
         self._words.clear()
+        self._fresh.clear()
         self.qw_out += dirty * (self.granularity // self.WORD)
         return dirty * self.granularity
 

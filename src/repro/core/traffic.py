@@ -37,6 +37,10 @@ class TrafficResult:
     context_switches: int = 0
     svf_switch_bytes: int = 0
     stack_cache_switch_bytes: int = 0
+    # Valid/dirty-bit wins (checked against repro.analysis.predict).
+    svf_fills_avoided: int = 0
+    svf_killed_words: int = 0
+    svf_killed_dirty_words: int = 0
 
     @property
     def svf_switch_bytes_avg(self) -> float:
@@ -109,6 +113,9 @@ class TrafficSimulator:
             context_switches=self._switches,
             svf_switch_bytes=self._svf_switch_bytes,
             stack_cache_switch_bytes=self._stack_cache_switch_bytes,
+            svf_fills_avoided=self.svf.fills_avoided,
+            svf_killed_words=self.svf.killed_words,
+            svf_killed_dirty_words=self.svf.killed_dirty_words,
         )
 
 

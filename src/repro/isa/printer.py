@@ -1,0 +1,77 @@
+"""Render an assembled :class:`Program` back to assembler text.
+
+The optimizer (:mod:`repro.lang.opt`) operates on assembled programs;
+``repro compile --emit asm`` at ``-O1`` and debugging workflows need
+the result back as re-assemblable source.  Rendering is exact: the
+emitted text assembles to a program with identical instructions,
+labels, data bytes and symbol addresses (the assembler lays symbols
+out in the order encountered, which is preserved here by emitting them
+in address order).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.isa.instructions import Program
+
+
+class RenderError(ValueError):
+    """Raised when a program cannot be rendered back to source."""
+
+
+def _render_data(program: Program) -> List[str]:
+    lines = [".data"]
+    symbols = sorted(program.symbols.items(), key=lambda item: item[1])
+    if not symbols:
+        if program.data:
+            raise RenderError("data segment bytes without any symbol")
+        return lines
+    data = bytes(program.data)
+    base = symbols[0][1]
+    for position, (name, address) in enumerate(symbols):
+        next_address = (
+            symbols[position + 1][1]
+            if position + 1 < len(symbols)
+            else base + len(data)
+        )
+        chunk = data[address - base:next_address - base]
+        if not chunk:
+            raise RenderError(f"symbol {name!r} has no data")
+        if len(chunk) % 8 == 0:
+            values = struct.unpack(f"<{len(chunk) // 8}Q", chunk)
+            rendered = ", ".join(str(_signed64(value)) for value in values)
+            lines.append(f"{name}: .quad {rendered}")
+        elif not any(chunk):
+            lines.append(f"{name}: .space {len(chunk)}")
+        else:
+            raise RenderError(
+                f"symbol {name!r} spans {len(chunk)} bytes (not a "
+                f"multiple of 8) with nonzero contents"
+            )
+    return lines
+
+
+def _signed64(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def render_program(program: Program) -> str:
+    """Render ``program`` as assembler source text."""
+    labels_at: Dict[int, List[str]] = {}
+    for label, index in program.labels.items():
+        labels_at.setdefault(index, []).append(label)
+
+    lines = _render_data(program)
+    lines.append("")
+    lines.append(".text")
+    for index, instruction in enumerate(program.instructions):
+        for label in sorted(labels_at.get(index, [])):
+            lines.append(f"{label}:")
+        lines.append("    " + instruction.render())
+    # Labels addressing the end of the text segment (none are produced
+    # by the compiler, but hand-written sources may have them).
+    for label in sorted(labels_at.get(len(program.instructions), [])):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"

@@ -83,10 +83,17 @@ class CodegenOptions:
     hot scalars the same way; without promotion the stack share of
     memory references is unrealistically high.  Set to 0 for the
     -O0-style ablation.
+
+    ``opt_level`` — 0 emits the naive stack-machine code unchanged (the
+    default; all goldens pin this level); 1 additionally runs the
+    dataflow optimizer pipeline of :mod:`repro.lang.opt` (redundant
+    $sp-relative load forwarding, frame dead-store elimination,
+    register DCE, frame-slot coalescing) over the assembled program.
     """
 
     fp_frames: bool = True
     promoted_locals: int = 4
+    opt_level: int = 0
 
 
 def _count_uses(body, depth: int = 0, weights=None):
@@ -851,13 +858,35 @@ class CodeGenerator:
 def compile_to_assembly(
     source: str, options: Optional[CodegenOptions] = None
 ) -> str:
-    """Compile MiniC ``source`` to assembler text."""
+    """Compile MiniC ``source`` to assembler text.
+
+    At ``opt_level >= 1`` the text is the rendering of the *optimized*
+    program, so what this returns always assembles to exactly what
+    :func:`compile_program` executes.
+    """
     unit = parse(source)
-    return CodeGenerator(options).generate(unit)
+    text = CodeGenerator(options).generate(unit)
+    if options is not None and options.opt_level >= 1:
+        from repro.isa.assembler import assemble
+        from repro.isa.printer import render_program
+        from repro.lang.opt import optimize_program
+
+        optimized, _stats = optimize_program(
+            assemble(text, entry="__start")
+        )
+        text = render_program(optimized)
+    return text
 
 
 def compile_program(source: str, options: Optional[CodegenOptions] = None):
     """Compile MiniC ``source`` all the way to an executable Program."""
     from repro.isa.assembler import assemble
 
-    return assemble(compile_to_assembly(source, options), entry="__start")
+    unit = parse(source)
+    text = CodeGenerator(options).generate(unit)
+    program = assemble(text, entry="__start")
+    if options is not None and options.opt_level >= 1:
+        from repro.lang.opt import optimize_program
+
+        program, _stats = optimize_program(program)
+    return program

@@ -1,0 +1,131 @@
+"""Optimizer pipeline over assembled programs (``-O1``).
+
+:func:`optimize_program` drives the four dataflow passes of
+:mod:`repro.lang.opt.passes` to a fixpoint:
+
+1. repeat { redundant-load forwarding; dead-store elimination;
+   register dead-code elimination; rebuild } until a round makes no
+   edits — each rebuild invalidates the analyses, so the loop re-solves
+   from scratch per round;
+2. run frame-slot coalescing once at the fixpoint (it creates new
+   store-overwrite patterns), then return to step 1 to clean up.
+
+The whole pipeline refuses to touch a program it cannot prove
+analyzable: any CFG anomaly that breaks edge reconstruction, any
+``sp-balance``/``frame-bounds`` error, or an untracked ``$sp`` in any
+function disables optimization entirely (an unbalanced callee corrupts
+every caller's frame facts).  First-read warnings anywhere additionally
+disable the two memory-image-changing passes (dead stores, coalescing)
+while keeping the register-only ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.report import Severity
+from repro.analysis.stackcheck import (
+    FrameContext,
+    analyze_frames,
+    first_read_pass,
+)
+from repro.isa.instructions import Program
+from repro.lang.opt.ir import EditSet, rebuild_program
+from repro.lang.opt.passes import (
+    coalesce_slots_pass,
+    dead_code_pass,
+    dead_store_elimination,
+    forward_loads_pass,
+)
+
+__all__ = ["OptStats", "optimize_program"]
+
+#: CFG anomalies that leave edges unreconstructed; a function carrying
+#: one cannot be analyzed, so the program is left unoptimized.
+_FATAL_ANOMALIES = frozenset({
+    "escaping-branch", "indirect-jump", "fallthrough-exit",
+})
+
+
+@dataclass
+class OptStats:
+    """What the pipeline did, for reporting and tests."""
+
+    rounds: int = 0
+    loads_forwarded: int = 0
+    loads_deleted: int = 0
+    dead_stores_deleted: int = 0
+    dead_code_deleted: int = 0
+    slots_coalesced: int = 0
+    #: True when the program was left untouched as unanalyzable.
+    skipped: bool = False
+    #: True when first-read warnings disabled the memory-image passes.
+    memory_passes_disabled: bool = False
+
+    @property
+    def instructions_removed(self) -> int:
+        return (
+            self.loads_deleted
+            + self.dead_stores_deleted
+            + self.dead_code_deleted
+        )
+
+
+def _analyze(program: Program) -> Optional[Tuple[List[FrameContext], bool]]:
+    """Frame contexts for every function, or None if unanalyzable."""
+    pcfg = build_cfg(program)
+    if any(a.kind in _FATAL_ANOMALIES for a in pcfg.anomalies):
+        return None
+    contexts: List[FrameContext] = []
+    memory_safe = True
+    for function in pcfg.functions.values():
+        context, diagnostics = analyze_frames(function)
+        if not context.sp_tracked or any(
+            d.severity is Severity.ERROR for d in diagnostics
+        ):
+            return None
+        if first_read_pass(context):
+            memory_safe = False
+        contexts.append(context)
+    return contexts, memory_safe
+
+
+def optimize_program(
+    program: Program, max_rounds: int = 10
+) -> Tuple[Program, OptStats]:
+    """Run the ``-O1`` pipeline; returns the new program and stats.
+
+    The input program is never mutated; when no optimization applies it
+    is returned as-is.
+    """
+    stats = OptStats()
+    coalesced = False
+    while stats.rounds < max_rounds:
+        analysis = _analyze(program)
+        if analysis is None:
+            stats.skipped = stats.rounds == 0
+            break
+        contexts, memory_safe = analysis
+        if not memory_safe:
+            stats.memory_passes_disabled = True
+        edits = EditSet()
+        for context in contexts:
+            counts = forward_loads_pass(context, edits)
+            stats.loads_forwarded += counts["forwarded"]
+            stats.loads_deleted += counts["deleted"]
+            if memory_safe:
+                stats.dead_stores_deleted += dead_store_elimination(
+                    context, edits
+                )
+            stats.dead_code_deleted += dead_code_pass(context, edits)
+        if not edits and memory_safe and not coalesced:
+            coalesced = True
+            for context in contexts:
+                stats.slots_coalesced += coalesce_slots_pass(context, edits)
+        if not edits:
+            break
+        program = rebuild_program(program, edits)
+        stats.rounds += 1
+    return program, stats

@@ -1,0 +1,92 @@
+"""Edit-set IR over an assembled :class:`Program`.
+
+The optimizer passes never mutate the program they analyze.  Each pass
+records its decisions in an :class:`EditSet` — instruction indices to
+delete, indices to replace with a new :class:`Instruction` — and the
+round applies them all at once with :func:`rebuild_program`, which
+produces a fresh program with labels and branch targets remapped.
+
+Deleting instruction *i* remaps every label or branch target that
+pointed at *i* to the next surviving instruction.  That is exactly
+"execute the deleted instruction as a no-op", which is the soundness
+condition every deleting pass establishes (the instruction's effect is
+unobservable on every path reaching it, including the branch edge).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.isa.instructions import Instruction, Program
+
+
+@dataclass
+class EditSet:
+    """Pending edits against one program, keyed by instruction index."""
+
+    deletions: Set[int] = field(default_factory=set)
+    replacements: Dict[int, Instruction] = field(default_factory=dict)
+
+    def delete(self, index: int) -> None:
+        self.deletions.add(index)
+        self.replacements.pop(index, None)
+
+    def replace(self, index: int, instruction: Instruction) -> None:
+        if index not in self.deletions:
+            self.replacements[index] = instruction
+
+    def merge(self, other: "EditSet") -> None:
+        self.deletions |= other.deletions
+        for index, instruction in other.replacements.items():
+            self.replace(index, instruction)
+        for index in self.deletions:
+            self.replacements.pop(index, None)
+
+    def __bool__(self) -> bool:
+        return bool(self.deletions or self.replacements)
+
+    def __len__(self) -> int:
+        return len(self.deletions) + len(self.replacements)
+
+
+def rebuild_program(program: Program, edits: EditSet) -> Program:
+    """Apply ``edits`` and return a new, fully remapped program."""
+    count = len(program.instructions)
+    # kept_before[i] = number of surviving instructions strictly before
+    # i; it is both the new index of a kept instruction and the remap of
+    # a deleted branch target onto the next survivor.
+    kept_before = [0] * (count + 1)
+    survivors = 0
+    for index in range(count):
+        kept_before[index] = survivors
+        if index not in edits.deletions:
+            survivors += 1
+    kept_before[count] = survivors
+
+    instructions = []
+    for index in range(count):
+        if index in edits.deletions:
+            continue
+        instruction = edits.replacements.get(
+            index, program.instructions[index]
+        )
+        target_index = instruction.target_index
+        if target_index is not None:
+            target_index = kept_before[target_index]
+        instructions.append(
+            dataclasses.replace(instruction, target_index=target_index)
+        )
+
+    labels = {
+        label: kept_before[index]
+        for label, index in program.labels.items()
+    }
+    return Program(
+        instructions=instructions,
+        labels=labels,
+        data=bytearray(program.data),
+        symbols=dict(program.symbols),
+        entry=program.entry,
+    )

@@ -29,6 +29,13 @@ def suite_reports():
     return lint_all()
 
 
+@pytest.fixture(scope="module")
+def suite_reports_o1():
+    from repro.lang.codegen import CodegenOptions
+
+    return lint_all(options=CodegenOptions(opt_level=1))
+
+
 @pytest.mark.lint
 class TestGoldenSuite:
     def test_covers_all_13_registry_workloads(self, suite_reports):
@@ -81,6 +88,48 @@ class TestGoldenSuite:
             d.function == "next_state" and "never called" in d.message
             for d in crafty.infos
         )
+
+
+@pytest.mark.lint
+class TestGoldenSuiteOptimized:
+    """The tier-1 gate also lints the optimizer's -O1 output.
+
+    The dataflow passes rewrite frame traffic; whatever they emit must
+    still satisfy every stack-discipline invariant the SVF relies on.
+    """
+
+    def test_covers_all_13_registry_workloads(self, suite_reports_o1):
+        assert len(suite_reports_o1) == len(ALL_BENCHMARKS) == 13
+
+    def test_optimized_output_error_clean(self, suite_reports_o1):
+        failed = {
+            report.name: [d.render() for d in report.errors]
+            for report in suite_reports_o1
+            if report.errors
+        }
+        assert not failed, f"-O1 broke stack discipline: {failed}"
+
+    def test_optimized_output_warning_clean(self, suite_reports_o1):
+        noisy = {
+            report.name: [d.render() for d in report.warnings]
+            for report in suite_reports_o1
+            if report.warnings
+        }
+        assert not noisy, f"-O1 introduced warnings: {noisy}"
+
+    def test_optimizer_removes_dead_stores(self, suite_reports, suite_reports_o1):
+        # The dead stores the -O0 suite is full of are exactly what
+        # dead-store elimination deletes: the -O1 suite must carry
+        # strictly fewer dead-store diagnostics overall.
+        def dead_stores(reports):
+            return sum(
+                1
+                for report in reports
+                for d in report.infos
+                if d.pass_name == "dead-store"
+            )
+
+        assert dead_stores(suite_reports_o1) < dead_stores(suite_reports)
 
 
 class TestMutationCatch:
@@ -188,7 +237,7 @@ class TestCLI:
         assert main(["lint", "gzip", "--all"]) == 2
 
     def test_nonzero_exit_on_errors(self, capsys, monkeypatch):
-        import repro.analysis as analysis
+        import repro.api as api
         from repro.analysis.report import Diagnostic, LintReport
 
         def fake_lint(benchmark, input_name=None, options=None):
@@ -200,6 +249,24 @@ class TestCLI:
                 )],
             )
 
-        monkeypatch.setattr(analysis, "lint_workload", fake_lint)
+        # cmd_lint goes through the repro.api facade.
+        monkeypatch.setattr(api, "lint_workload", fake_lint)
         assert main(["lint", "broken"]) == 1
         assert "FAILED" in capsys.readouterr().out
+
+    def test_unknown_workload_one_line_error(self, capsys):
+        assert main(["lint", "doom"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown benchmark" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_lint_accepts_opt_level(self, capsys):
+        assert main(["lint", "mcf", "-O1"]) == 0
+        assert "mcf.inp: clean" in capsys.readouterr().out
+
+    def test_json_format_is_versioned(self, capsys):
+        from repro.api import SCHEMA_VERSION
+
+        assert main(["lint", "mcf", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION

@@ -1,4 +1,12 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Exit-code contract: every ``cmd_*`` handler returns an int — 0 on
+success, 1 when the command ran but found failures, 2 on usage errors
+(unknown workload/input names, missing files), which must surface as a
+one-line stderr message, never a traceback.
+"""
+
+import json
 
 import pytest
 
@@ -26,9 +34,69 @@ class TestRun:
         ) == 0
         assert "bzip2.program" in capsys.readouterr().out
 
-    def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "doom"])
+    def test_opt_level_flag(self, capsys):
+        assert main(["run", "gzip", "-O1",
+                     "--max-instructions", "5000"]) == 0
+        assert "5,000 instructions" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    """Unknown names and missing files: one-line error, exit code 2."""
+
+    def _assert_one_line_error(self, capsys, fragment):
+        captured = capsys.readouterr()
+        assert fragment in captured.err
+        assert captured.err.startswith("repro: ")
+        assert captured.err.count("\n") == 1
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "doom"]) == 2
+        self._assert_one_line_error(capsys, "unknown benchmark")
+
+    def test_run_unknown_input(self, capsys):
+        assert main(["run", "gzip", "--input", "reference"]) == 2
+        self._assert_one_line_error(capsys, "unknown input")
+
+    def test_simulate_unknown_workload(self, capsys):
+        assert main(["simulate", "doom"]) == 2
+        self._assert_one_line_error(capsys, "unknown benchmark")
+
+    def test_characterize_unknown_workload(self, capsys):
+        assert main(["characterize", "doom"]) == 2
+        self._assert_one_line_error(capsys, "unknown benchmark")
+
+    def test_trace_unknown_workload(self, capsys, tmp_path):
+        assert main(["trace", "doom", str(tmp_path / "t.svft")]) == 2
+        self._assert_one_line_error(capsys, "unknown benchmark")
+
+    def test_report_unknown_benchmark(self, capsys, tmp_path):
+        assert main(["report", "--output", str(tmp_path / "r.md"),
+                     "--benchmarks", "doom"]) == 2
+        self._assert_one_line_error(capsys, "unknown benchmark")
+
+    def test_compile_missing_file(self, capsys):
+        assert main(["compile", "/no/such/file.mc"]) == 2
+        self._assert_one_line_error(capsys, "no such source file")
+
+    def test_replay_missing_file(self, capsys):
+        assert main(["replay", "/no/such/trace.svft"]) == 2
+        self._assert_one_line_error(capsys, "no such trace file")
+
+    def test_every_handler_returns_int(self, tmp_path, capsys):
+        # The cheap commands, exercised end to end: handlers must
+        # return int (argparse-level SystemExit is a separate path).
+        source = tmp_path / "p.mc"
+        source.write_text("int main() { return 0; }")
+        for argv in (
+            ["list"],
+            ["run", "mcf", "--max-instructions", "1000"],
+            ["compile", str(source)],
+            ["lint", "mcf"],
+            ["experiment", "table2"],
+        ):
+            code = main(argv)
+            assert isinstance(code, int) and code == 0, argv
+        capsys.readouterr()
 
 
 class TestCharacterize:
@@ -40,6 +108,17 @@ class TestCharacterize:
         assert "Figure 1" in out
         assert "Figure 2" in out
         assert "Figure 3" in out
+
+    def test_json_format_is_versioned(self, capsys):
+        from repro.api import SCHEMA_VERSION
+
+        assert main(
+            ["characterize", "gzip", "--max-instructions", "5000",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["figures"]) == {"fig1", "fig2", "fig3"}
 
 
 class TestSimulate:
@@ -86,6 +165,16 @@ class TestCompile:
         assert main(["compile", str(source_file), "--emit", "run"]) == 0
         assert "[42]" in capsys.readouterr().out
 
+    def test_opt_level_same_output(self, tmp_path, capsys):
+        source_file = tmp_path / "answer.mc"
+        source_file.write_text(
+            "int main() { int x; int y; x = 6; y = 7; print(x * y); "
+            "return 0; }"
+        )
+        assert main(["compile", str(source_file), "--emit", "run",
+                     "-O1"]) == 0
+        assert "[42]" in capsys.readouterr().out
+
 
 class TestTraceReplay:
     def test_record_and_replay(self, tmp_path, capsys):
@@ -125,3 +214,12 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig12"])
+
+    def test_json_format_is_versioned(self, capsys):
+        from repro.api import SCHEMA_VERSION
+
+        assert main(["experiment", "table1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["experiment"] == "table1"
+        assert "Table 1" in payload["text"]

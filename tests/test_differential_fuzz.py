@@ -2,14 +2,22 @@
 
 Hypothesis generates random (but well-formed, terminating) MiniC
 programs; the compiled path and the reference interpreter must print
-identical output for each.
+identical output for each.  The same harness differentially checks
+the dataflow optimizer: every fuzzed program and every registry
+workload must produce bit-identical emulator results at ``-O0`` and
+``-O1``.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.emulator import run_program
+from repro.emulator.machine import Machine
+from repro.isa.registers import V0
 from repro.lang import compile_program
+from repro.lang.codegen import CodegenOptions
 from repro.lang.interpreter import interpret
+from repro.workloads import ALL_BENCHMARKS, workload
 
 VARS = ("a", "b", "c")
 
@@ -93,3 +101,51 @@ class TestDifferentialFuzz:
             assert machine.halted
             outputs.append(machine.output)
         assert outputs[0] == outputs[1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(_program)
+    def test_optimizer_preserves_output(self, source):
+        """-O1 must be observationally identical to -O0 on fuzzed code."""
+        results = []
+        for level in (0, 1):
+            machine, _ = run_program(
+                compile_program(source, CodegenOptions(opt_level=level)),
+                max_instructions=2_000_000,
+            )
+            assert machine.halted
+            results.append((machine.output, machine.registers[V0]))
+        assert results[0] == results[1]
+
+
+class TestOptimizerWorkloadDifferential:
+    """Full-run -O0 vs -O1 equivalence on every registry workload.
+
+    This is the tentpole's acceptance property: the optimizer may only
+    remove/forward/coalesce stack traffic, never change what the
+    program computes.  Outputs, return values and halt status must be
+    bit-identical on complete runs of all 13 workloads.
+    """
+
+    @pytest.mark.parametrize("benchmark_name", ALL_BENCHMARKS)
+    def test_workload_identical_across_levels(self, benchmark_name):
+        work = workload(benchmark_name)
+        observed = []
+        for level in (0, 1):
+            machine = Machine(work.program(CodegenOptions(opt_level=level)))
+            machine.run(max_instructions=None)
+            assert machine.halted, f"{work.full_name} at -O{level}"
+            observed.append((machine.output, machine.registers[V0]))
+        assert observed[0] == observed[1], work.full_name
+
+    def test_optimizer_actually_fires_somewhere(self):
+        # Guard against a silently disabled pipeline: across the suite
+        # -O1 must shorten at least one program's static code.
+        shrunk = 0
+        for benchmark in ALL_BENCHMARKS:
+            work = workload(benchmark)
+            baseline = len(work.program(CodegenOptions(opt_level=0)))
+            optimized = len(work.program(CodegenOptions(opt_level=1)))
+            assert optimized <= baseline, work.full_name
+            if optimized < baseline:
+                shrunk += 1
+        assert shrunk >= 8, f"optimizer shrank only {shrunk}/13 workloads"

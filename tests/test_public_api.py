@@ -1,13 +1,18 @@
-"""Public-API surface tests: every __all__ entry exists and imports."""
+"""Public-API surface tests: every __all__ entry exists and imports,
+and the ``repro.api`` facade surface is pinned explicitly."""
 
+import dataclasses
 import importlib
+import json
 
 import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.isa",
     "repro.lang",
+    "repro.analysis",
     "repro.emulator",
     "repro.trace",
     "repro.uarch",
@@ -56,3 +61,124 @@ def test_docstrings_on_public_classes():
             obj = getattr(package, name)
             if callable(obj) and not isinstance(obj, (int, tuple, dict)):
                 assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+# ---------------------------------------------------------------------------
+# The repro.api facade: the stability boundary is pinned explicitly.
+# ---------------------------------------------------------------------------
+
+FACADE_SURFACE = {
+    "CompileOptions",
+    "EXPERIMENT_NAMES",
+    "ExperimentResult",
+    "MachineSpec",
+    "RunResult",
+    "SCHEMA_VERSION",
+    "characterize",
+    "compile_source",
+    "experiment",
+    "lint",
+    "lint_json",
+    "run_workload",
+    "simulate",
+    "versioned",
+}
+
+
+def test_facade_surface_pinned():
+    from repro import api
+
+    assert set(api.__all__) == FACADE_SURFACE
+    # The facade verbs are re-exported from the package root.
+    import repro
+
+    for name in ("CompileOptions", "MachineSpec", "RunResult",
+                 "SCHEMA_VERSION", "compile_source", "run_workload",
+                 "characterize", "simulate", "lint", "experiment"):
+        assert name in repro.__all__, name
+
+
+def test_option_objects_are_frozen_with_stable_defaults():
+    from repro import api
+
+    options = api.CompileOptions()
+    assert (options.fp_frames, options.promoted_locals,
+            options.opt_level) == (True, 4, 0)
+    spec = api.MachineSpec()
+    assert (spec.width, spec.svf_mode) == (16, "none")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        options.opt_level = 1
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.width = 4
+    with pytest.raises(ValueError):
+        api.CompileOptions(opt_level=7)
+
+
+def test_machine_spec_materializes_table2_config():
+    from repro import api
+
+    config = api.MachineSpec(width=8, svf_mode="svf", svf_ports=4,
+                             svf_capacity=4096).config()
+    assert config.decode_width == 8
+    assert config.svf.mode == "svf"
+    assert config.svf.ports == 4
+    assert config.svf.capacity_bytes == 4096
+    # No stack unit requested -> untouched baseline sub-config.
+    assert api.MachineSpec(width=4).config().svf.mode == "none"
+
+
+def test_compile_source_and_run_workload():
+    from repro import api
+
+    source = "int main() { int x; x = 41; return x + 1; }"
+    program = api.compile_source(source)
+    assert len(program) > 0
+    asm = api.compile_source(source, emit="asm")
+    assert "main" in asm
+    with pytest.raises(ValueError):
+        api.compile_source(source, emit="object")
+
+    result = api.run_workload("mcf", max_instructions=20_000)
+    assert result.workload == "mcf.inp"
+    assert result.instructions == 20_000
+    assert not result.halted
+
+
+def test_simulate_accepts_spec_config_and_workload_name():
+    import repro
+    from repro import api
+
+    trace = repro.workload("gzip").trace(max_instructions=2_000)
+    by_spec = api.simulate(trace, api.MachineSpec())
+    by_config = api.simulate(trace, repro.table2_config(16))
+    assert by_spec.cycles == by_config.cycles
+    by_name = api.simulate("gzip", max_instructions=2_000)
+    assert by_name.cycles == by_spec.cycles
+
+
+def test_lint_facade_and_versioned_json():
+    from repro import api
+
+    reports = api.lint("mcf")
+    assert len(reports) == 1 and reports[0].ok
+    payload = json.loads(api.lint_json(reports))
+    assert payload["schema_version"] == api.SCHEMA_VERSION
+    assert payload["ok"] is True
+
+    program = api.compile_source(
+        "int main() { int x; x = 1; return x; }"
+    )
+    assert api.lint(program)[0].ok
+
+
+def test_experiment_facade_versioned_json():
+    from repro import api
+
+    with pytest.raises(ValueError):
+        api.experiment("fig99")
+    result = api.experiment("table2")
+    assert result.name == "table2"
+    payload = json.loads(result.to_json())
+    assert payload["schema_version"] == api.SCHEMA_VERSION
+    assert payload["experiment"] == "table2"
+    assert payload["text"] == result.render()
