@@ -1,0 +1,107 @@
+"""Measure the parallel report engine: wall-clock by job count.
+
+Regenerates ``benchmarks/results/parallel_report_timing.txt``::
+
+    PYTHONPATH=src python benchmarks/measure_parallel.py \
+        [--jobs 4] [--timing-window 40000] [--functional-window 80000] \
+        [--seed-seconds 71.6]
+
+Three full-suite runs are timed: serial (``jobs=1``) on a cold cache,
+parallel (``--jobs``) on a cold cache, and parallel again on the warm
+cache the second run left behind.  Every run's markdown is compared
+byte-for-byte, so the artifact doubles as a determinism check.
+``--seed-seconds`` records an externally measured wall clock of the
+pre-engine serial harness for the before/after row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness.runall import generate_report
+
+RESULTS = Path(__file__).parent / "results" / "parallel_report_timing.txt"
+
+
+def timed_run(jobs: int, cache_dir: str, windows) -> tuple:
+    started = time.perf_counter()
+    text = generate_report(
+        timing_window=windows[0],
+        functional_window=windows[1],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return time.perf_counter() - started, text
+
+
+def main() -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--jobs", type=int, default=4)
+    cli.add_argument("--timing-window", type=int, default=40_000)
+    cli.add_argument("--functional-window", type=int, default=80_000)
+    cli.add_argument("--seed-seconds", type=float, default=None)
+    args = cli.parse_args()
+    windows = (args.timing_window, args.functional_window)
+
+    cold_serial_dir = tempfile.mkdtemp(prefix="repro-measure-")
+    cold_parallel_dir = tempfile.mkdtemp(prefix="repro-measure-")
+    try:
+        serial_s, serial_text = timed_run(1, cold_serial_dir, windows)
+        parallel_s, parallel_text = timed_run(
+            args.jobs, cold_parallel_dir, windows
+        )
+        warm_s, warm_text = timed_run(args.jobs, cold_parallel_dir, windows)
+    finally:
+        shutil.rmtree(cold_serial_dir, ignore_errors=True)
+        shutil.rmtree(cold_parallel_dir, ignore_errors=True)
+
+    identical = serial_text == parallel_text == warm_text
+    lines = [
+        "Parallel report engine: full-suite wall clock",
+        f"(windows: {windows[0]:,} timing / {windows[1]:,} functional; "
+        f"host: {os.cpu_count()} CPU(s))",
+        "",
+        f"{'configuration':42s} {'seconds':>8s}",
+    ]
+    if args.seed_seconds is not None:
+        lines.append(
+            f"{'seed serial harness (pre-engine), no cache':42s} "
+            f"{args.seed_seconds:8.1f}"
+        )
+    lines += [
+        f"{'engine --jobs 1, cold cache':42s} {serial_s:8.1f}",
+        f"{f'engine --jobs {args.jobs}, cold cache':42s} {parallel_s:8.1f}",
+        f"{f'engine --jobs {args.jobs}, warm cache':42s} {warm_s:8.1f}",
+        "",
+        f"reports byte-identical across runs: {'yes' if identical else 'NO'}",
+    ]
+    if args.seed_seconds is not None:
+        lines.append(
+            f"speedup vs seed harness: cold "
+            f"{args.seed_seconds / parallel_s:.1f}x, warm "
+            f"{args.seed_seconds / warm_s:.1f}x"
+        )
+    lines.append(
+        f"speedup --jobs {args.jobs} vs --jobs 1 (cold): "
+        f"{serial_s / parallel_s:.2f}x"
+    )
+    if (os.cpu_count() or 1) == 1:
+        lines.append(
+            "caveat: single-CPU host — the worker pool timeshares one "
+            "core, so the --jobs axis cannot show parallel speedup here; "
+            "the cross-run win comes from the trace/cell cache."
+        )
+    text = "\n".join(lines)
+    print(text)
+    RESULTS.write_text(text + "\n")
+    print(f"\nwrote {RESULTS}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.lint import lint_all, lint_program, lint_workload
+from repro.errors import UsageError
 from repro.analysis.report import LintReport
 from repro.harness.experiments import (
     CharacterizationResult,
@@ -165,6 +166,71 @@ class ExperimentResult:
         }), indent=indent)
 
 
+@dataclass(frozen=True)
+class ReportOptions:
+    """Frozen knobs for the full-report sweep (``repro report``).
+
+    ``jobs`` is the parallel-engine worker count (``None`` means
+    ``os.cpu_count()``, ``1`` runs inline); the report text is
+    byte-identical for every value.  ``use_cache`` gates the shared
+    on-disk trace cache — ``cache_dir=None`` with ``use_cache=True``
+    resolves to the default per-user cache directory.
+    """
+
+    timing_window: int = 40_000
+    functional_window: int = 80_000
+    benchmarks: Optional[Tuple[str, ...]] = None
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    task_timeout: float = 600.0
+
+    def __post_init__(self):
+        if self.benchmarks is not None and not isinstance(
+            self.benchmarks, tuple
+        ):
+            object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, not {self.jobs!r}")
+
+    def resolved_cache_dir(self) -> Optional[str]:
+        """The effective cache root, or ``None`` when caching is off."""
+        if not self.use_cache:
+            return None
+        if self.cache_dir is not None:
+            return self.cache_dir
+        from repro.harness.parallel import default_cache_dir
+
+        return default_cache_dir()
+
+
+def generate_report(
+    options: Optional[ReportOptions] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Run the full experiment battery; returns one markdown document.
+
+    Unknown benchmark names raise :class:`repro.errors.UsageError`
+    before any simulation starts; a cell that fails inside the sweep
+    degrades to an annotated gap in its section.
+    """
+    from repro.harness.runall import generate_report as _generate_report
+
+    options = options if options is not None else ReportOptions()
+    benchmarks = (
+        list(options.benchmarks) if options.benchmarks is not None else None
+    )
+    return _generate_report(
+        timing_window=options.timing_window,
+        functional_window=options.functional_window,
+        benchmarks=benchmarks,
+        progress=progress,
+        jobs=options.jobs,
+        cache_dir=options.resolved_cache_dir(),
+        task_timeout=options.task_timeout,
+    )
+
+
 def _codegen_options(
     options: Optional[Union[CompileOptions, CodegenOptions]]
 ) -> Optional[CodegenOptions]:
@@ -216,11 +282,14 @@ def characterize(
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 100_000,
 ) -> CharacterizationResult:
-    """Run the Figure 1-3 characterization over (part of) the suite."""
-    if benchmarks:
-        benchmarks = [_workload(name).name for name in benchmarks]
+    """Run the Figure 1-3 characterization over (part of) the suite.
+
+    Unknown names raise :class:`repro.errors.UsageError` listing every
+    offender (validated by the suite resolver before any run starts).
+    """
     return _characterize(
-        benchmarks=benchmarks or None, max_instructions=max_instructions
+        benchmarks=list(benchmarks) if benchmarks else None,
+        max_instructions=max_instructions,
     )
 
 
@@ -316,11 +385,14 @@ __all__ = [
     "EXPERIMENT_NAMES",
     "ExperimentResult",
     "MachineSpec",
+    "ReportOptions",
     "RunResult",
     "SCHEMA_VERSION",
+    "UsageError",
     "characterize",
     "compile_source",
     "experiment",
+    "generate_report",
     "lint",
     "lint_json",
     "run_workload",

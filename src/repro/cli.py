@@ -16,6 +16,10 @@ Commands:
 ``experiment <name> [--window N] [--format text|json]``
     regenerate one paper artifact: table1, table2, fig1, fig2, fig3,
     fig5, fig6, fig7, fig8, fig9, table3, table4.
+``report [--jobs N] [--cache-dir DIR] [--no-cache] [--benchmarks ...]``
+    run the whole battery through the parallel engine and write one
+    markdown report; ``--jobs`` picks the worker count (default: CPU
+    count) and the output is byte-identical for every value.
 ``lint <workload> | --all [-O LEVEL] [--format text|json]``
     statically verify stack discipline (balanced ``$sp``, frame
     bounds, first-read, dead stores, address escapes) on compiled
@@ -36,6 +40,7 @@ import sys
 from typing import List, Optional
 
 from repro import api
+from repro.errors import UsageError
 from repro.workloads import BENCHMARK_ORDER, input_names, workload
 
 
@@ -142,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--benchmarks", nargs="*", default=None,
         help="subset of benchmarks (default: full suite)",
+    )
+    report_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker processes (default: CPU count; 1 = serial)",
+    )
+    report_parser.add_argument(
+        "--cache-dir", default=None,
+        help="trace-cache directory (default: ~/.cache/repro-svf)",
+    )
+    report_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk trace cache for this run",
     )
 
     trace_parser = commands.add_parser(
@@ -316,19 +333,19 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.harness.runall import generate_report
-
-    benchmarks = args.benchmarks or None
-    try:
-        if benchmarks:
-            benchmarks = [workload(name).name for name in benchmarks]
-    except KeyError as exc:
-        return _fail(exc.args[0])
-    text = generate_report(
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else None
+    if args.jobs is not None and args.jobs < 1:
+        return _fail(f"report: --jobs must be >= 1, not {args.jobs}")
+    options = api.ReportOptions(
         timing_window=args.timing_window,
         functional_window=args.functional_window,
         benchmarks=benchmarks,
-        progress=lambda message: print(f"[report] {message}"),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    text = api.generate_report(
+        options, progress=lambda message: print(f"[report] {message}")
     )
     with open(args.output, "w") as handle:
         handle.write(text)
@@ -393,7 +410,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "replay": cmd_replay,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except UsageError as exc:
+        return _fail(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,22 @@
+"""Shared error contract of the toolkit.
+
+:class:`UsageError` is the one exception callers are expected to
+handle: it means the *request* was malformed (unknown benchmark or
+input names, conflicting flags), not that the toolkit failed.  The CLI
+maps it to exit code 2 with a one-line stderr message — never a
+traceback — as documented in :mod:`repro.cli`; library callers can
+catch it to validate user-supplied benchmark subsets up front.
+
+It lives in its own leaf module so every layer (workload registry,
+experiment drivers, facade, CLI) can raise or catch it without import
+cycles.
+"""
+
+from __future__ import annotations
+
+
+class UsageError(Exception):
+    """A malformed request: bad names or flags, reported without traceback."""
+
+
+__all__ = ["UsageError"]

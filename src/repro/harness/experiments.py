@@ -34,6 +34,7 @@ from repro.workloads import (
     TABLE1_INPUTS,
     all_inputs,
     cached_trace,
+    validate_benchmarks,
     workload,
 )
 
@@ -42,13 +43,25 @@ DEFAULT_FUNCTIONAL_WINDOW = 150_000
 
 
 def _suite(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    """Resolve a benchmark subset to canonical full names, validated.
+
+    Unknown names raise one :class:`repro.errors.UsageError` listing
+    every offender, so a mistyped ``--benchmarks`` fails before any
+    simulation starts instead of as a KeyError deep inside a sweep.
+    """
     if benchmarks is None:
         return list(BENCHMARK_ORDER)
-    return [name if "." in name else name for name in benchmarks]
+    return validate_benchmarks(benchmarks)
 
 
 def _trace_for(benchmark: str, max_instructions: int) -> list:
     return cached_trace(workload(benchmark), max_instructions)
+
+
+def _no_benchmarks_table(headers: Sequence[str], title: str) -> str:
+    """Placeholder table for an empty suite (never raise StopIteration)."""
+    row = ["(no benchmarks selected)"] + [""] * (len(headers) - 1)
+    return render_table(headers, [row], title=title)
 
 
 # ---------------------------------------------------------------------------
@@ -184,9 +197,8 @@ def characterize(
         locality = OffsetLocality()
         first_touch = FirstTouchProfile()
         sink = MultiSink(distribution, depth, locality, first_touch)
-        workload(name).run(
-            max_instructions=max_instructions, trace_sink=sink
-        )
+        for record in _trace_for(name, max_instructions):
+            sink.append(record)
         result.distributions[name] = distribution
         result.depth_profiles[name] = depth
         result.localities[name] = locality
@@ -216,6 +228,12 @@ class Fig5Result:
         }
 
     def render(self) -> str:
+        title = (
+            "Figure 5: Speedup of Morphing All Stack Accesses "
+            "(infinite SVF)"
+        )
+        if not self.speedups:
+            return _no_benchmarks_table(["Benchmark"], title)
         columns = list(next(iter(self.speedups.values())).keys())
         rows = [
             (name, *[percent(per[c]) for c in columns])
@@ -223,11 +241,7 @@ class Fig5Result:
         ]
         averages = self.averages()
         rows.append(("average", *[percent(averages[c]) for c in columns]))
-        return render_table(
-            ["Benchmark", *columns], rows,
-            title="Figure 5: Speedup of Morphing All Stack Accesses "
-            "(infinite SVF)",
-        )
+        return render_table(["Benchmark", *columns], rows, title=title)
 
 
 def fig5_ideal_morphing(
@@ -276,16 +290,16 @@ class Fig6Result:
         return {c: sum(v) / len(v) for c, v in columns.items()}
 
     def render(self) -> str:
+        title = "Figure 6: Progressive Performance Analysis (16-wide)"
+        if not self.speedups:
+            return _no_benchmarks_table(["Benchmark", *FIG6_STEPS], title)
         rows = [
             (name, *[percent(per[c]) for c in FIG6_STEPS])
             for name, per in self.speedups.items()
         ]
         averages = self.averages()
         rows.append(("average", *[percent(averages[c]) for c in FIG6_STEPS]))
-        return render_table(
-            ["Benchmark", *FIG6_STEPS], rows,
-            title="Figure 6: Progressive Performance Analysis (16-wide)",
-        )
+        return render_table(["Benchmark", *FIG6_STEPS], rows, title=title)
 
 
 def fig6_progressive(
@@ -343,6 +357,12 @@ class Fig7Result:
         return {c: sum(v) / len(v) for c, v in columns.items()}
 
     def render(self) -> str:
+        title = (
+            "Figure 7: SVF vs Stack Cache vs Baseline "
+            "(speedup over (2+0))"
+        )
+        if not self.speedups:
+            return _no_benchmarks_table(["Benchmark", *FIG7_CONFIGS], title)
         rows = [
             (name, *[percent(per[c]) for c in FIG7_CONFIGS])
             for name, per in self.speedups.items()
@@ -351,13 +371,16 @@ class Fig7Result:
         rows.append(
             ("average", *[percent(averages[c]) for c in FIG7_CONFIGS])
         )
-        return render_table(
-            ["Benchmark", *FIG7_CONFIGS], rows,
-            title="Figure 7: SVF vs Stack Cache vs Baseline "
-            "(speedup over (2+0))",
-        )
+        return render_table(["Benchmark", *FIG7_CONFIGS], rows, title=title)
 
     def render_fig8(self) -> str:
+        title = "Figure 8: Breakdown of SVF Reference Types"
+        if not self.svf_stats:
+            return _no_benchmarks_table(
+                ["Benchmark", "fast loads", "fast stores", "re-routed",
+                 "squashes"],
+                title,
+            )
         rows = []
         for name, stats in self.svf_stats.items():
             total = (
@@ -378,7 +401,7 @@ class Fig7Result:
             ["Benchmark", "fast loads", "fast stores", "re-routed",
              "squashes"],
             rows,
-            title="Figure 8: Breakdown of SVF Reference Types",
+            title=title,
         )
 
 
@@ -449,12 +472,17 @@ class Table3Result:
     traffic: Dict[str, Dict[int, object]] = field(default_factory=dict)
 
     def render(self) -> str:
+        title = (
+            "Table 3: Memory Traffic for Stack Cache and SVF (quad-words)"
+        )
         headers = ["Benchmark"]
         for size in self.sizes:
             kb = size // 1024
             headers += [
                 f"{kb}K $in", f"{kb}K SVFin", f"{kb}K $out", f"{kb}K SVFout",
             ]
+        if not self.traffic:
+            return _no_benchmarks_table(headers, title)
         rows = []
         for name, per_size in self.traffic.items():
             row = [name]
@@ -467,11 +495,7 @@ class Table3Result:
                     r.svf_qw_out,
                 ]
             rows.append(row)
-        return render_table(
-            headers, rows,
-            title="Table 3: Memory Traffic for Stack Cache and SVF "
-            "(quad-words)",
-        )
+        return render_table(headers, rows, title=title)
 
 
 def table3_memory_traffic(
@@ -482,7 +506,7 @@ def table3_memory_traffic(
     """Table 3: traffic of both schemes at 2/4/8 KB over every input."""
     result = Table3Result(sizes=tuple(sizes))
     for work in inputs if inputs is not None else all_inputs():
-        trace = work.trace(max_instructions=max_instructions)
+        trace = cached_trace(work, max_instructions)
         result.traffic[work.full_name] = {
             size: simulate_traffic(trace, capacity_bytes=size)
             for size in sizes
@@ -504,17 +528,18 @@ class Table4Result:
     rows: Dict[str, tuple] = field(default_factory=dict)
 
     def render(self) -> str:
+        title = (
+            "Table 4: Memory Traffic on Context Switches "
+            f"(bytes/switch, period {self.period})"
+        )
+        headers = ["Benchmark", "Stack Cache", "Stack Value File"]
+        if not self.rows:
+            return _no_benchmarks_table(headers, title)
         rows = [
             (name, f"{cache_bytes:.0f}", f"{svf_bytes:.0f}")
             for name, (cache_bytes, svf_bytes) in self.rows.items()
         ]
-        return render_table(
-            ["Benchmark", "Stack Cache", "Stack Value File"], rows,
-            title=(
-                "Table 4: Memory Traffic on Context Switches "
-                f"(bytes/switch, period {self.period})"
-            ),
-        )
+        return render_table(headers, rows, title=title)
 
 
 def table4_context_switch(
@@ -566,6 +591,12 @@ class Fig9Result:
         return {c: sum(v) / len(v) for c, v in columns.items()}
 
     def render(self) -> str:
+        title = (
+            "Figure 9: SVF Speedup over Same-Ported Baseline "
+            "((R+S) vs (R+0))"
+        )
+        if not self.speedups:
+            return _no_benchmarks_table(["Benchmark", *FIG9_CONFIGS], title)
         rows = [
             (name, *[percent(per[c]) for c in FIG9_CONFIGS])
             for name, per in self.speedups.items()
@@ -574,11 +605,7 @@ class Fig9Result:
         rows.append(
             ("average", *[percent(averages[c]) for c in FIG9_CONFIGS])
         )
-        return render_table(
-            ["Benchmark", *FIG9_CONFIGS], rows,
-            title="Figure 9: SVF Speedup over Same-Ported Baseline "
-            "((R+S) vs (R+0))",
-        )
+        return render_table(["Benchmark", *FIG9_CONFIGS], rows, title=title)
 
 
 def fig9_svf_speedup(

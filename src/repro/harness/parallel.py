@@ -1,0 +1,464 @@
+"""Parallel experiment engine: picklable task cells over a process pool.
+
+The report/prediction sweeps decompose into independent
+(benchmark × experiment × window) :class:`TaskCell` units.  The engine
+fans cells out over a ``ProcessPoolExecutor`` (``jobs`` workers,
+default ``os.cpu_count()``), then the caller merges the picklable
+payloads back **in suite order**, so the rendered document is
+byte-identical to a serial (``jobs=1``) run — worker scheduling can
+reorder execution but never the merge.
+
+Failure semantics: a cell that raises inside a worker is retried once
+(``EngineOptions.retries``); a cell that exhausts its retries or its
+per-cell timeout degrades to a :class:`CellOutcome` with ``error`` set,
+which the report renders as an annotated gap instead of crashing the
+whole sweep.  The timeout is measured from the point the collector
+starts waiting on that cell (earlier waits overlap queue time), so it
+is a liveness bound, not a precise execution budget.
+
+The engine is backed by :class:`TraceCache`, a shared on-disk
+compile/trace cache keyed by (benchmark, input, opt level, window) and
+versioned by :data:`repro.api.SCHEMA_VERSION`: worker processes and
+repeated invocations reuse each functional trace instead of
+re-emulating it.  The cache installs itself as the second level behind
+the per-process cache of :func:`repro.workloads.cached_trace`, and it
+also memoizes finished cell payloads, so a warm re-run skips the
+timing model as well.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads import (
+    get_disk_trace_cache,
+    input_names,
+    set_disk_trace_cache,
+    workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared on-disk trace cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_dir() -> str:
+    """``$XDG_CACHE_HOME``/repro-svf (or ~/.cache/repro-svf)."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-svf")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+#: distinguishes "entry absent" from a legitimately-None payload.
+_MISS = object()
+
+
+class TraceCache:
+    """Pickled store under ``<root>/v<SCHEMA_VERSION>/``, two namespaces:
+
+    * functional traces, one file per (benchmark, input, opt level,
+      window) key — shared by every section that replays the same
+      trace;
+    * finished cell payloads under ``cells/`` — a warm report skips
+      the timing model entirely, not just emulation.
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent
+    workers can race on the same key safely — worst case both compute
+    and one wins.  A corrupt or truncated entry is dropped and treated
+    as a miss.  Invalidation is by schema version only: the directory
+    name pins ``SCHEMA_VERSION``, which any payload- or
+    trace-affecting change must bump.
+    """
+
+    def __init__(self, root: str):
+        # Imported lazily: repro.api imports the harness package, so a
+        # module-level import here would be circular.
+        from repro.api import SCHEMA_VERSION
+
+        self.root = Path(root) / f"v{SCHEMA_VERSION}"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cells_root = self.root / "cells"
+        self.stats = CacheStats()
+
+    def path_for(self, key) -> Path:
+        benchmark, input_name, opt_level, window = key
+        window_tag = "full" if window is None else str(window)
+        return self.root / (
+            f"{benchmark}.{input_name}.O{opt_level}.w{window_tag}.trace.pkl"
+        )
+
+    def cell_path_for(self, cell: "TaskCell") -> Path:
+        window_tag = "full" if cell.window is None else str(cell.window)
+        parts = [cell.section, cell.benchmark, f"w{window_tag}"]
+        parts += [f"{name}-{value}" for name, value in cell.params]
+        return self.cells_root / (".".join(parts) + ".cell.pkl")
+
+    def _read(self, path: Path) -> Any:
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return _MISS
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return _MISS
+        self.stats.hits += 1
+        return value
+
+    def _write(self, path: Path, value: Any) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except Exception:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    def load(self, key) -> Optional[list]:
+        trace = self._read(self.path_for(key))
+        return None if trace is _MISS else trace
+
+    def store(self, key, trace: list) -> None:
+        self._write(self.path_for(key), trace)
+
+    def load_cell(self, cell: "TaskCell") -> Any:
+        """Finished payload for ``cell``, or the ``_MISS`` sentinel."""
+        return self._read(self.cell_path_for(cell))
+
+    def store_cell(self, cell: "TaskCell", payload: Any) -> None:
+        self._write(self.cell_path_for(cell), payload)
+
+
+# ---------------------------------------------------------------------------
+# Task cells
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskCell:
+    """One picklable unit of sweep work: section × benchmark × window."""
+
+    section: str
+    benchmark: str
+    window: Optional[int]
+    #: extra hashable keyword parameters, e.g. (("period", 3200),)
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return f"{self.section}×{self.benchmark}"
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return dict(self.params).get(name, default)
+
+
+def _cell_characterize(cell: TaskCell) -> Dict[str, Any]:
+    from repro.harness.experiments import characterize
+
+    result = characterize([cell.benchmark], max_instructions=cell.window)
+    name = cell.benchmark
+    return {
+        "distribution": result.distributions[name],
+        "depth": result.depth_profiles[name],
+        "locality": result.localities[name],
+        "first_touch": result.first_touch[name],
+    }
+
+
+def _cell_fig5(cell: TaskCell) -> Dict[str, float]:
+    from repro.harness.experiments import fig5_ideal_morphing
+
+    result = fig5_ideal_morphing(
+        [cell.benchmark], max_instructions=cell.window
+    )
+    return result.speedups[cell.benchmark]
+
+
+def _cell_fig6(cell: TaskCell) -> Dict[str, float]:
+    from repro.harness.experiments import fig6_progressive
+
+    result = fig6_progressive([cell.benchmark], max_instructions=cell.window)
+    return result.speedups[cell.benchmark]
+
+
+def _cell_fig7(cell: TaskCell) -> Dict[str, Any]:
+    from repro.harness.experiments import fig7_svf_vs_stack_cache
+
+    result = fig7_svf_vs_stack_cache(
+        [cell.benchmark], max_instructions=cell.window
+    )
+    return {
+        "speedups": result.speedups[cell.benchmark],
+        "svf_stats": result.svf_stats[cell.benchmark],
+    }
+
+
+def _cell_fig9(cell: TaskCell) -> Dict[str, float]:
+    from repro.harness.experiments import fig9_svf_speedup
+
+    result = fig9_svf_speedup([cell.benchmark], max_instructions=cell.window)
+    return result.speedups[cell.benchmark]
+
+
+def _cell_table3(cell: TaskCell) -> Dict[str, Dict[int, Any]]:
+    from repro.harness.experiments import table3_memory_traffic
+
+    inputs = [
+        workload(cell.benchmark, input_name)
+        for input_name in input_names(cell.benchmark)
+    ]
+    result = table3_memory_traffic(
+        max_instructions=cell.window, inputs=inputs
+    )
+    return result.traffic
+
+
+def _cell_table4(cell: TaskCell) -> Tuple[float, float]:
+    from repro.harness.experiments import table4_context_switch
+
+    result = table4_context_switch(
+        [cell.benchmark],
+        max_instructions=cell.window,
+        period=cell.param("period", 25_000),
+    )
+    return result.rows[cell.benchmark]
+
+
+def _cell_prediction(cell: TaskCell):
+    from repro.harness.prediction import check_workload
+
+    return check_workload(
+        cell.benchmark,
+        max_instructions=cell.window,
+        capacity_bytes=cell.param("capacity_bytes", 8192),
+    )
+
+
+_CELL_RUNNERS: Dict[str, Callable[[TaskCell], Any]] = {
+    "characterize": _cell_characterize,
+    "fig5": _cell_fig5,
+    "fig6": _cell_fig6,
+    "fig7": _cell_fig7,
+    "fig9": _cell_fig9,
+    "table3": _cell_table3,
+    "table4": _cell_table4,
+    "prediction": _cell_prediction,
+}
+
+
+def _execute_cell(cell: TaskCell) -> Tuple[str, Any, float]:
+    """Worker entry: never raises — failures travel back as payloads."""
+    started = time.perf_counter()
+    try:
+        cache = get_disk_trace_cache()
+        if cache is not None:
+            payload = cache.load_cell(cell)
+            if payload is not _MISS:
+                return ("ok", payload, time.perf_counter() - started)
+        runner = _CELL_RUNNERS.get(cell.section)
+        if runner is None:
+            raise KeyError(f"unknown cell section {cell.section!r}")
+        payload = runner(cell)
+        if cache is not None:
+            cache.store_cell(cell, payload)
+        return ("ok", payload, time.perf_counter() - started)
+    except Exception as exc:
+        message = f"{type(exc).__name__}: {exc}"
+        return ("error", message, time.perf_counter() - started)
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    if cache_dir:
+        set_disk_trace_cache(TraceCache(cache_dir))
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Scheduler knobs: parallelism, cache location, failure policy."""
+
+    #: worker processes; None means ``os.cpu_count()``; 1 runs inline.
+    jobs: Optional[int] = None
+    #: on-disk trace cache root; None disables the disk level entirely.
+    cache_dir: Optional[str] = None
+    #: seconds the collector waits on one cell before declaring it hung.
+    task_timeout: float = 600.0
+    #: extra attempts after the first failure/timeout of a cell.
+    retries: int = 1
+
+    def effective_jobs(self) -> int:
+        if self.jobs is None:
+            return max(1, os.cpu_count() or 1)
+        return max(1, self.jobs)
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: payload on success, error on failure."""
+
+    cell: TaskCell
+    payload: Any = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_cells(
+    cells: Sequence[TaskCell],
+    options: EngineOptions = EngineOptions(),
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellOutcome]:
+    """Execute every cell; outcomes come back in the order given.
+
+    ``jobs == 1`` (or a single cell) runs inline in this process —
+    the exact code path the workers run, so parallel and serial sweeps
+    produce identical payloads.
+    """
+    cells = list(cells)
+    note = progress if progress is not None else (lambda message: None)
+    if options.effective_jobs() == 1 or len(cells) <= 1:
+        return _run_serial(cells, options, note)
+    return _run_pool(cells, options, note)
+
+
+def _note_outcome(
+    note: Callable[[str], None], outcome: CellOutcome, done: int, total: int
+) -> None:
+    status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
+    retried = f", attempt {outcome.attempts}" if outcome.attempts > 1 else ""
+    note(
+        f"[{done}/{total}] {outcome.cell.label} {status} "
+        f"({outcome.elapsed:.1f}s{retried})"
+    )
+
+
+def _run_serial(
+    cells: List[TaskCell],
+    options: EngineOptions,
+    note: Callable[[str], None],
+) -> List[CellOutcome]:
+    previous_cache = get_disk_trace_cache()
+    if options.cache_dir:
+        set_disk_trace_cache(TraceCache(options.cache_dir))
+    try:
+        outcomes = []
+        for index, cell in enumerate(cells):
+            attempts = 0
+            while True:
+                attempts += 1
+                status, payload, elapsed = _execute_cell(cell)
+                if status == "ok" or attempts > options.retries:
+                    break
+                note(f"retrying {cell.label} ({payload})")
+            outcome = CellOutcome(
+                cell=cell,
+                payload=payload if status == "ok" else None,
+                error=None if status == "ok" else str(payload),
+                elapsed=elapsed,
+                attempts=attempts,
+            )
+            outcomes.append(outcome)
+            _note_outcome(note, outcome, index + 1, len(cells))
+        return outcomes
+    finally:
+        if options.cache_dir:
+            set_disk_trace_cache(previous_cache)
+
+
+def _run_pool(
+    cells: List[TaskCell],
+    options: EngineOptions,
+    note: Callable[[str], None],
+) -> List[CellOutcome]:
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    with ProcessPoolExecutor(
+        max_workers=options.effective_jobs(),
+        initializer=_init_worker,
+        initargs=(options.cache_dir,),
+    ) as pool:
+        futures = [pool.submit(_execute_cell, cell) for cell in cells]
+        for index, cell in enumerate(cells):
+            attempts = 1
+            while True:
+                try:
+                    status, payload, elapsed = futures[index].result(
+                        timeout=options.task_timeout
+                    )
+                except FutureTimeoutError:
+                    status = "error"
+                    payload = f"timed out after {options.task_timeout:.0f}s"
+                    elapsed = options.task_timeout
+                except Exception as exc:  # broken pool, unpicklable result
+                    status = "error"
+                    payload = f"{type(exc).__name__}: {exc}"
+                    elapsed = 0.0
+                if status == "ok" or attempts > options.retries:
+                    break
+                attempts += 1
+                note(f"retrying {cell.label} ({payload})")
+                try:
+                    futures[index] = pool.submit(_execute_cell, cell)
+                except Exception as exc:
+                    status = "error"
+                    payload = f"{type(exc).__name__}: {exc}"
+                    elapsed = 0.0
+                    break
+            outcomes[index] = CellOutcome(
+                cell=cell,
+                payload=payload if status == "ok" else None,
+                error=None if status == "ok" else str(payload),
+                elapsed=elapsed,
+                attempts=attempts,
+            )
+            _note_outcome(note, outcomes[index], index + 1, total)
+    return outcomes  # type: ignore[return-value]
+
+
+__all__ = [
+    "CacheStats",
+    "CellOutcome",
+    "EngineOptions",
+    "TaskCell",
+    "TraceCache",
+    "default_cache_dir",
+    "run_cells",
+]

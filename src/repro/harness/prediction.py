@@ -248,13 +248,38 @@ def traffic_prediction_report(
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     capacity_bytes: int = 8192,
+    jobs: Optional[int] = None,
+    progress=None,
 ) -> PredictionReport:
-    """The committed predicted-vs-measured artifact over the suite."""
-    report = PredictionReport(capacity_bytes=capacity_bytes)
-    for benchmark in benchmarks or ALL_BENCHMARKS:
-        report.rows.append(check_workload(
+    """The committed predicted-vs-measured artifact over the suite.
+
+    ``jobs`` fans the per-workload measurement out over the parallel
+    engine (1 = inline); rows always merge back in suite order.  A
+    workload that fails after its retry is dropped from the report and
+    noted through ``progress`` — the full-run measurements are
+    independent, so one bad workload no longer aborts the artifact.
+    """
+    from repro.harness.parallel import EngineOptions, TaskCell, run_cells
+
+    names = list(benchmarks) if benchmarks else list(ALL_BENCHMARKS)
+    cells = [
+        TaskCell(
+            "prediction",
             benchmark,
-            max_instructions=max_instructions,
-            capacity_bytes=capacity_bytes,
-        ))
+            max_instructions,
+            (("capacity_bytes", capacity_bytes),),
+        )
+        for benchmark in names
+    ]
+    outcomes = run_cells(
+        cells, EngineOptions(jobs=jobs), progress=progress
+    )
+    report = PredictionReport(capacity_bytes=capacity_bytes)
+    for outcome in outcomes:
+        if outcome.ok:
+            report.rows.append(outcome.payload)
+        elif progress is not None:
+            progress(
+                f"dropped {outcome.cell.benchmark}: {outcome.error}"
+            )
     return report

@@ -5,127 +5,238 @@
 returns a single markdown document — the programmatic equivalent of
 ``pytest benchmarks/ --benchmark-only``, usable from the CLI
 (``python -m repro report``) or a notebook.
+
+The sweep is decomposed into (benchmark × experiment × window) cells
+and executed by :mod:`repro.harness.parallel` — ``jobs`` workers over
+a process pool, backed by the shared on-disk trace cache when
+``cache_dir`` is set.  Results merge in suite order, so the document
+is byte-identical for any ``jobs`` value; a cell that fails after its
+retry renders as an annotated gap inside its section instead of
+crashing the report.
 """
 
 from __future__ import annotations
 
 import io
 import time
-from typing import Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.experiments import (
-    characterize,
-    fig5_ideal_morphing,
-    fig6_progressive,
-    fig7_svf_vs_stack_cache,
-    fig9_svf_speedup,
+    CharacterizationResult,
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Fig9Result,
+    Table3Result,
+    Table4Result,
+    _suite,
     table1_workloads,
     table2_models,
-    table3_memory_traffic,
-    table4_context_switch,
 )
+from repro.harness.parallel import (
+    CellOutcome,
+    EngineOptions,
+    TaskCell,
+    run_cells,
+)
+
+#: (section, which window it uses, extra params) in report order.
+_SECTION_PLAN: Tuple[Tuple[str, str], ...] = (
+    ("characterize", "functional"),
+    ("fig5", "timing"),
+    ("fig6", "timing"),
+    ("fig7", "timing"),
+    ("table3", "functional"),
+    ("table4", "functional"),
+    ("fig9", "timing"),
+)
+
+
+def _plan_cells(
+    suite: Sequence[str],
+    timing_window: int,
+    functional_window: int,
+    period: int,
+) -> List[TaskCell]:
+    """Section-major cell order: workers hit distinct benchmarks first,
+    so cold-cache runs compute each trace once instead of racing on it."""
+    windows = {"timing": timing_window, "functional": functional_window}
+    cells = []
+    for section, window_kind in _SECTION_PLAN:
+        params: Tuple = ()
+        if section == "table4":
+            params = (("period", period),)
+        for benchmark in suite:
+            cells.append(
+                TaskCell(section, benchmark, windows[window_kind], params)
+            )
+    return cells
+
+
+def _merge(
+    suite: Sequence[str],
+    outcomes: Sequence[CellOutcome],
+    period: int,
+) -> Dict[str, object]:
+    """Fold per-cell payloads into result objects, in suite order."""
+    by_cell = {
+        (outcome.cell.section, outcome.cell.benchmark): outcome
+        for outcome in outcomes
+    }
+
+    def payload(section: str, benchmark: str):
+        outcome = by_cell.get((section, benchmark))
+        return outcome.payload if outcome is not None and outcome.ok else None
+
+    characterization = CharacterizationResult()
+    fig5 = Fig5Result()
+    fig6 = Fig6Result()
+    fig7 = Fig7Result()
+    fig9 = Fig9Result()
+    table3 = Table3Result()
+    table4 = Table4Result(period=period)
+    for benchmark in suite:
+        char = payload("characterize", benchmark)
+        if char is not None:
+            characterization.distributions[benchmark] = char["distribution"]
+            characterization.depth_profiles[benchmark] = char["depth"]
+            characterization.localities[benchmark] = char["locality"]
+            characterization.first_touch[benchmark] = char["first_touch"]
+        for result, section in ((fig5, "fig5"), (fig6, "fig6"),
+                                (fig9, "fig9")):
+            speedups = payload(section, benchmark)
+            if speedups is not None:
+                result.speedups[benchmark] = speedups
+        seven = payload("fig7", benchmark)
+        if seven is not None:
+            fig7.speedups[benchmark] = seven["speedups"]
+            fig7.svf_stats[benchmark] = seven["svf_stats"]
+        traffic = payload("table3", benchmark)
+        if traffic is not None:
+            table3.traffic.update(traffic)
+        switch = payload("table4", benchmark)
+        if switch is not None:
+            table4.rows[benchmark] = switch
+    return {
+        "characterize": characterization,
+        "fig5": fig5,
+        "fig6": fig6,
+        "fig7": fig7,
+        "fig9": fig9,
+        "table3": table3,
+        "table4": table4,
+    }
 
 
 def generate_report(
     timing_window: int = 40_000,
     functional_window: int = 80_000,
     benchmarks: Optional[Sequence[str]] = None,
-    progress=None,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    task_timeout: float = 600.0,
 ) -> str:
     """Run everything; returns the report as markdown text.
 
     ``progress``, if given, is called with a status string before each
-    stage (e.g. ``print``).
+    stage and after each finished cell (e.g. ``print``).  ``jobs``
+    picks the worker count (None → ``os.cpu_count()``, 1 → inline);
+    ``cache_dir`` enables the shared on-disk trace cache.  The output
+    is byte-identical across ``jobs`` values.
     """
 
     def note(message: str) -> None:
         if progress is not None:
             progress(message)
 
-    out = io.StringIO()
+    suite = _suite(benchmarks)
+    period = max(functional_window // 25, 1_000)
     started = time.time()
+
+    out = io.StringIO()
     out.write("# SVF reproduction — full experiment report\n\n")
     out.write(
         f"Windows: {timing_window:,} instructions (timing), "
         f"{functional_window:,} (functional).\n\n"
     )
 
-    def section(title: str, body: str) -> None:
-        out.write(f"## {title}\n\n```\n{body}\n```\n\n")
+    failures_by_section: Dict[str, List[CellOutcome]] = {}
+
+    def section(title: str, body: str, section_key: str = "") -> None:
+        annotations = ""
+        for outcome in failures_by_section.get(section_key, ()):
+            annotations += (
+                f"\n(degraded: cell {outcome.cell.label} failed after "
+                f"{outcome.attempts} attempt"
+                f"{'s' if outcome.attempts != 1 else ''} — {outcome.error})"
+            )
+        out.write(f"## {title}\n\n```\n{body}{annotations}\n```\n\n")
 
     note("Tables 1-2 (inventories)")
     section("Table 1 — benchmarks", table1_workloads())
     section("Table 2 — machine models", table2_models())
 
-    note("Figures 1-3 + first-touch (characterization)")
-    characterization = characterize(
-        benchmarks=benchmarks, max_instructions=functional_window
+    cells = _plan_cells(suite, timing_window, functional_window, period)
+    options = EngineOptions(
+        jobs=jobs, cache_dir=cache_dir, task_timeout=task_timeout
     )
-    section("Figure 1 — access distribution", characterization.render_fig1())
-    section("Figure 2 — stack depth", characterization.render_fig2())
-    section("Figure 3 — offset locality", characterization.render_fig3())
+    note(
+        f"running {len(cells)} cells over {len(suite)} benchmarks "
+        f"({options.effective_jobs()} jobs, cache "
+        f"{cache_dir if cache_dir else 'off'})"
+    )
+    outcomes = run_cells(cells, options, progress=progress)
+    for outcome in outcomes:
+        if not outcome.ok:
+            failures_by_section.setdefault(
+                outcome.cell.section, []
+            ).append(outcome)
+    merged = _merge(suite, outcomes, period)
+
+    characterization = merged["characterize"]
+    section(
+        "Figure 1 — access distribution",
+        characterization.render_fig1(),
+        "characterize",
+    )
+    section(
+        "Figure 2 — stack depth",
+        characterization.render_fig2(),
+        "characterize",
+    )
+    section(
+        "Figure 3 — offset locality",
+        characterization.render_fig3(),
+        "characterize",
+    )
     section(
         "First-touch analysis (valid-bit rationale)",
         characterization.render_first_touch(),
+        "characterize",
     )
-
-    note("Figure 5 (ideal morphing)")
+    section("Figure 5 — ideal morphing", merged["fig5"].render(), "fig5")
     section(
-        "Figure 5 — ideal morphing",
-        fig5_ideal_morphing(
-            benchmarks=benchmarks, max_instructions=timing_window
-        ).render(),
+        "Figure 6 — progressive analysis", merged["fig6"].render(), "fig6"
     )
-
-    note("Figure 6 (progressive analysis)")
+    section("Figure 7 — SVF vs stack cache", merged["fig7"].render(), "fig7")
     section(
-        "Figure 6 — progressive analysis",
-        fig6_progressive(
-            benchmarks=benchmarks, max_instructions=timing_window
-        ).render(),
+        "Figure 8 — reference breakdown",
+        merged["fig7"].render_fig8(),
+        "fig7",
     )
-
-    note("Figures 7-8 (SVF vs stack cache)")
-    fig7 = fig7_svf_vs_stack_cache(
-        benchmarks=benchmarks, max_instructions=timing_window
-    )
-    section("Figure 7 — SVF vs stack cache", fig7.render())
-    section("Figure 8 — reference breakdown", fig7.render_fig8())
-
-    note("Table 3 (memory traffic)")
-    inputs = None
-    if benchmarks is not None:
-        from repro.workloads import all_inputs
-
-        wanted = set(benchmarks)
-        inputs = [w for w in all_inputs() if w.name in wanted]
-    section(
-        "Table 3 — memory traffic",
-        table3_memory_traffic(
-            max_instructions=functional_window, inputs=inputs
-        ).render(),
-    )
-
-    note("Table 4 (context switches)")
+    section("Table 3 — memory traffic", merged["table3"].render(), "table3")
     section(
         "Table 4 — context-switch writeback",
-        table4_context_switch(
-            benchmarks=benchmarks,
-            max_instructions=functional_window,
-            period=max(functional_window // 25, 1_000),
-        ).render(),
+        merged["table4"].render(),
+        "table4",
     )
-
-    note("Figure 9 (port configurations)")
     section(
-        "Figure 9 — SVF speedups by ports",
-        fig9_svf_speedup(
-            benchmarks=benchmarks, max_instructions=timing_window
-        ).render(),
+        "Figure 9 — SVF speedups by ports", merged["fig9"].render(), "fig9"
     )
 
-    out.write(
-        f"_Generated in {time.time() - started:.0f}s by repro.harness."
-        "runall._\n"
-    )
+    # The elapsed time goes to the progress channel, not the document,
+    # so reports stay byte-comparable across runs and job counts.
+    note(f"report complete in {time.time() - started:.1f}s")
+    out.write("_Generated by repro.harness.runall._\n")
     return out.getvalue()

@@ -11,9 +11,10 @@ slot traffic, address-taken escapes), which compiled MiniC reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.emulator.machine import Machine
+from repro.errors import UsageError
 from repro.lang.codegen import CodegenOptions, compile_program
 from repro.workloads import (
     bzip2,
@@ -185,6 +186,40 @@ def all_inputs() -> List[Workload]:
     return out
 
 
+def canonical_benchmark(name: str) -> str:
+    """Resolve ``"gzip"``/``"164.gzip"`` to the registry key, or KeyError."""
+    if name in _MODULES:
+        return name
+    return _expand(name)
+
+
+def validate_benchmarks(names: Sequence[str]) -> List[str]:
+    """Canonicalize a benchmark subset, failing fast on unknown names.
+
+    Returns the resolved full names in request order (duplicates
+    dropped).  Every unknown name is collected before raising, so one
+    :class:`UsageError` lists them all — the sweep never starts with a
+    subset that would explode mid-run.
+    """
+    resolved: List[str] = []
+    unknown: List[str] = []
+    for name in names:
+        try:
+            full = canonical_benchmark(name)
+        except KeyError:
+            unknown.append(name)
+            continue
+        if full not in resolved:
+            resolved.append(full)
+    if unknown:
+        shorts = ", ".join(n.split(".", 1)[1] for n in _MODULES)
+        noun = "benchmark" if len(unknown) == 1 else "benchmarks"
+        raise UsageError(
+            f"unknown {noun}: {', '.join(unknown)} (choose from {shorts})"
+        )
+    return resolved
+
+
 def _expand(short: str) -> str:
     for name in _MODULES:
         if name.split(".", 1)[1] == short:
@@ -202,19 +237,56 @@ def _resolve(benchmark: str) -> Tuple[object, str]:
 # ---------------------------------------------------------------------------
 # Trace cache: experiments re-simulate the same workloads under many
 # machine configurations; the functional trace only needs producing once.
+# An optional second, on-disk level (installed by the parallel engine's
+# TraceCache via set_disk_trace_cache) shares traces across worker
+# processes and across invocations.
 # ---------------------------------------------------------------------------
 
-_TRACE_CACHE: Dict[Tuple[str, str, Optional[int]], list] = {}
+TraceKey = Tuple[str, str, int, Optional[int]]
+
+_TRACE_CACHE: Dict[TraceKey, list] = {}
+
+#: Optional on-disk cache: any object with load(key) -> Optional[list]
+#: and store(key, trace).  None disables the disk level.
+_DISK_CACHE = None
 
 
-def cached_trace(work: Workload, max_instructions: Optional[int]) -> list:
-    """Trace for a workload at default parameters, cached per process."""
-    key = (work.name, work.input_name, max_instructions)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = work.trace(max_instructions=max_instructions)
-    return _TRACE_CACHE[key]
+def set_disk_trace_cache(cache) -> None:
+    """Install (or with ``None`` remove) the shared on-disk trace cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = cache
+
+
+def get_disk_trace_cache():
+    """The currently installed on-disk trace cache, if any."""
+    return _DISK_CACHE
+
+
+def cached_trace(
+    work: Workload,
+    max_instructions: Optional[int],
+    options: Optional[CodegenOptions] = None,
+) -> list:
+    """Trace for a workload, cached per process (and on disk when enabled).
+
+    The key is (benchmark, input, opt level, window) — everything that
+    determines the record stream.
+    """
+    opt_level = options.opt_level if options is not None else 0
+    key: TraceKey = (work.name, work.input_name, opt_level, max_instructions)
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        return trace
+    if _DISK_CACHE is not None:
+        trace = _DISK_CACHE.load(key)
+    if trace is None:
+        trace = work.trace(max_instructions=max_instructions, options=options)
+        if _DISK_CACHE is not None:
+            _DISK_CACHE.store(key, trace)
+    _TRACE_CACHE[key] = trace
+    return trace
 
 
 def clear_trace_cache() -> None:
-    """Drop all cached traces (used by tests)."""
+    """Drop all in-memory cached traces (used by tests)."""
     _TRACE_CACHE.clear()

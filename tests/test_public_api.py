@@ -72,11 +72,14 @@ FACADE_SURFACE = {
     "EXPERIMENT_NAMES",
     "ExperimentResult",
     "MachineSpec",
+    "ReportOptions",
     "RunResult",
     "SCHEMA_VERSION",
+    "UsageError",
     "characterize",
     "compile_source",
     "experiment",
+    "generate_report",
     "lint",
     "lint_json",
     "run_workload",

@@ -1,0 +1,75 @@
+"""Fast end-to-end smoke of the parallel report path.
+
+Runs the CI smoke target from the issue —
+``python -m repro report --benchmarks gzip mcf --timing-window 2000
+--jobs 2`` — as a real subprocess, so the worker-pool spawn, the CLI
+flag plumbing, and the markdown write are all exercised in tier-1
+without the full battery.  The subprocess carries a tight wall-clock
+timeout (no pytest-timeout plugin in this environment, so the bound is
+enforced at the ``subprocess.run`` level).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMOKE_TIMEOUT = 120  # seconds; the run takes ~5s on one CPU
+
+
+@pytest.mark.smoke
+def test_parallel_report_smoke(tmp_path):
+    output = tmp_path / "smoke_report.md"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "report",
+            "--benchmarks", "gzip", "mcf",
+            "--timing-window", "2000",
+            "--jobs", "2",
+            "--output", str(output),
+            "--cache-dir", str(tmp_path / "cache"),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=SMOKE_TIMEOUT,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "wrote" in completed.stdout
+    text = output.read_text()
+    for marker in ("Figure 5", "Figure 9", "Table 3", "Table 4"):
+        assert marker in text, marker
+    assert "gzip" in text and "mcf" in text
+    # No degraded cells in a healthy smoke run.
+    assert "degraded" not in text
+    # The cache was populated by the workers.
+    cache_root = tmp_path / "cache"
+    assert any(cache_root.rglob("*.trace.pkl"))
+
+
+@pytest.mark.smoke
+def test_smoke_exit_code_2_has_no_traceback(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "report", "--benchmarks", "nope"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    assert completed.returncode == 2
+    assert completed.stderr.startswith("repro: unknown benchmark: nope")
+    assert "Traceback" not in completed.stderr
