@@ -50,8 +50,12 @@ from repro.uarch.pipeline import SimStats, simulate as _simulate
 from repro.workloads.registry import workload as _workload
 
 #: Version stamped into every machine-readable (JSON) payload the
-#: toolkit emits.  Bump on any breaking change to a payload shape.
-SCHEMA_VERSION = 1
+#: toolkit emits, and pinned into the on-disk trace-cache directory
+#: name (``<cache>/v<SCHEMA_VERSION>/``).  Bump on any breaking change
+#: to a payload shape or persisted trace format.  v2: columnar binary
+#: trace files replaced pickled record lists — v1 caches are stale and
+#: are simply never read again.
+SCHEMA_VERSION = 2
 
 #: Valid ``experiment`` names (paper tables and figures).
 EXPERIMENT_NAMES = (
@@ -207,12 +211,16 @@ class ReportOptions:
 def generate_report(
     options: Optional[ReportOptions] = None,
     progress: Optional[Callable[[str], None]] = None,
+    profiler=None,
 ) -> str:
     """Run the full experiment battery; returns one markdown document.
 
     Unknown benchmark names raise :class:`repro.errors.UsageError`
     before any simulation starts; a cell that fails inside the sweep
-    degrades to an annotated gap in its section.
+    degrades to an annotated gap in its section.  ``profiler`` is an
+    optional :class:`repro.profiling.PhaseProfiler` that accumulates
+    the sweep's per-phase wall-time breakdown (``repro report
+    --profile``); the document itself is unaffected.
     """
     from repro.harness.runall import generate_report as _generate_report
 
@@ -228,6 +236,7 @@ def generate_report(
         jobs=options.jobs,
         cache_dir=options.resolved_cache_dir(),
         task_timeout=options.task_timeout,
+        profiler=profiler,
     )
 
 

@@ -20,6 +20,14 @@ Commands:
     run the whole battery through the parallel engine and write one
     markdown report; ``--jobs`` picks the worker count (default: CPU
     count) and the output is byte-identical for every value.
+    ``--profile`` additionally prints the sweep's per-phase wall-time
+    breakdown (compile/emulate/timing/traffic/render) to stdout.
+``profile <workload> [--max-instructions N]``
+    run one workload end to end (compile, emulate, time, traffic)
+    under the phase profiler and print the per-phase breakdown.
+``predict [--jobs N] [--benchmarks ...]``
+    cross-check the static SVF-traffic bounds against full dynamic
+    runs over the parallel engine; exits nonzero on a bound violation.
 ``lint <workload> | --all [-O LEVEL] [--format text|json]``
     statically verify stack discipline (balanced ``$sp``, frame
     bounds, first-read, dead stores, address escapes) on compiled
@@ -159,6 +167,42 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk trace cache for this run",
+    )
+    report_parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase wall-time breakdown after the report",
+    )
+
+    profile_parser = commands.add_parser(
+        "profile", help="per-phase wall-time breakdown for one workload"
+    )
+    profile_parser.add_argument("workload")
+    profile_parser.add_argument("--input", default=None)
+    profile_parser.add_argument(
+        "--max-instructions", type=int, default=40_000
+    )
+    opt_flag(profile_parser)
+
+    predict_parser = commands.add_parser(
+        "predict",
+        help="check static SVF-traffic bounds against dynamic runs",
+    )
+    predict_parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="subset of benchmarks (default: all 13 programs)",
+    )
+    predict_parser.add_argument(
+        "--max-instructions", type=int, default=None,
+        help="instruction window (default: full runs)",
+    )
+    predict_parser.add_argument("--capacity", type=int, default=8192)
+    predict_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker processes (default: CPU count; 1 = serial)",
+    )
+    predict_parser.add_argument(
+        "--output", default=None,
+        help="write the report to a file instead of stdout",
     )
 
     trace_parser = commands.add_parser(
@@ -333,6 +377,8 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_report(args) -> int:
+    from repro.profiling import PhaseProfiler
+
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     if args.jobs is not None and args.jobs < 1:
         return _fail(f"report: --jobs must be >= 1, not {args.jobs}")
@@ -344,31 +390,95 @@ def cmd_report(args) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
     )
+    profiler = PhaseProfiler() if args.profile else None
     text = api.generate_report(
-        options, progress=lambda message: print(f"[report] {message}")
+        options,
+        progress=lambda message: print(f"[report] {message}"),
+        profiler=profiler,
     )
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    if profiler is not None:
+        print()
+        print(profiler.render(title="Phase profile — full report"))
     return 0
 
 
-def cmd_trace(args) -> int:
-    from repro.trace import TraceWriter
+def cmd_profile(args) -> int:
+    from repro.core.traffic import simulate_traffic
+    from repro.profiling import profiled
+    from repro.uarch.config import table2_config
+    from repro.uarch.pipeline import simulate as run_timing
 
     try:
         work = workload(args.workload, args.input)
     except KeyError as exc:
         return _fail(exc.args[0])
     options = _compile_options(args)
-    with open(args.output, "wb") as stream:
-        writer = TraceWriter(stream)
-        work.run(
+    with profiled() as profiler:
+        trace = work.trace(
             max_instructions=args.max_instructions,
-            trace_sink=writer,
             options=options.codegen(),
         )
-    print(f"wrote {writer.count:,} records to {args.output}")
+        base = table2_config(16)
+        baseline = run_timing(trace, base)
+        svf = run_timing(trace, base.with_svf(mode="svf", ports=2))
+        simulate_traffic(trace)
+    speedup = svf.speedup_over(baseline)
+    print(f"{work.full_name}: {len(trace):,} instructions traced; "
+          f"svf speedup {(speedup - 1) * 100:+.1f}% "
+          f"over the 16-wide baseline")
+    print()
+    print(profiler.render(title=f"Phase profile — {work.full_name}"))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.harness.prediction import traffic_prediction_report
+    from repro.workloads import validate_benchmarks
+
+    if args.jobs is not None and args.jobs < 1:
+        return _fail(f"predict: --jobs must be >= 1, not {args.jobs}")
+    benchmarks = (
+        validate_benchmarks(args.benchmarks) if args.benchmarks else None
+    )
+    report = traffic_prediction_report(
+        benchmarks=benchmarks,
+        max_instructions=args.max_instructions,
+        capacity_bytes=args.capacity,
+        jobs=args.jobs,
+        progress=lambda message: print(
+            f"[predict] {message}", file=sys.stderr
+        ),
+    )
+    text = report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0 if report.all_bounds_hold else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.trace import save_trace
+    from repro.trace.columnar import ColumnarTrace
+
+    try:
+        work = workload(args.workload, args.input)
+    except KeyError as exc:
+        return _fail(exc.args[0])
+    options = _compile_options(args)
+    columns = ColumnarTrace()
+    work.run(
+        max_instructions=args.max_instructions,
+        trace_sink=columns,
+        options=options.codegen(),
+    )
+    count = save_trace(columns, args.output)
+    print(f"wrote {count:,} records to {args.output}")
     return 0
 
 
@@ -407,6 +517,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "lint": cmd_lint,
         "report": cmd_report,
+        "profile": cmd_profile,
+        "predict": cmd_predict,
         "trace": cmd_trace,
         "replay": cmd_replay,
     }

@@ -15,11 +15,14 @@ recorded (paper Table 4; the paper uses N = 400 000).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, List, Optional
 
+from repro import profiling
 from repro.core.stack_cache import StackCache
 from repro.core.svf import StackValueFile
-from repro.trace.regions import is_stack_address
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.regions import STACK_REGION_FLOOR, is_stack_address
 
 
 @dataclass
@@ -101,6 +104,50 @@ class TrafficSimulator:
                 self.stack_cache.context_switch()
             )
 
+    def consume_columns(self, trace: ColumnarTrace) -> None:
+        """Drain a whole columnar trace (same semantics as ``append``).
+
+        Reads the flag/address columns by index instead of
+        materializing records; the model-call sequence is identical to
+        feeding the records one by one.
+        """
+        col_flags = trace.flags
+        col_addr = trace.addr
+        col_size = trace.size
+        col_sp = trace.sp
+        svf = self.svf
+        svf_access = svf.access
+        sc_access = self.stack_cache.access
+        update_sp = svf.update_sp
+        stack_floor = STACK_REGION_FLOOR
+        period = self.context_switch_period
+        instructions = self._instructions
+        stack_references = self._stack_references
+        if not self._sp_seen and len(col_flags):
+            update_sp(col_sp[0])
+            self._sp_seen = True
+        for index in range(len(col_flags)):
+            instructions += 1
+            flags = col_flags[index]
+            if flags & 3:  # load or store
+                addr = col_addr[index]
+                if addr >= stack_floor:
+                    stack_references += 1
+                    is_store = bool(flags & 2)
+                    size = col_size[index]
+                    svf_access(addr, size, is_store)
+                    sc_access(addr, size, is_store)
+            if flags & 32:  # sp_update
+                update_sp(col_sp[index])
+            if period and instructions % period == 0:
+                self._switches += 1
+                self._svf_switch_bytes += svf.context_switch()
+                self._stack_cache_switch_bytes += (
+                    self.stack_cache.context_switch()
+                )
+        self._instructions = instructions
+        self._stack_references = stack_references
+
     def result(self) -> TrafficResult:
         return TrafficResult(
             capacity_bytes=self.capacity_bytes,
@@ -126,14 +173,24 @@ def simulate_traffic(
     context_switch_period: Optional[int] = None,
 ) -> TrafficResult:
     """Run the Table 3/4 traffic comparison over a finished trace."""
+    profiler = profiling.active()
+    profile_started = perf_counter() if profiler is not None else 0.0
     simulator = TrafficSimulator(
         capacity_bytes=capacity_bytes,
         line_size=line_size,
         context_switch_period=context_switch_period,
     )
-    for record in trace:
-        simulator.append(record)
-    return simulator.result()
+    if isinstance(trace, ColumnarTrace):
+        simulator.consume_columns(trace)
+    else:
+        for record in trace:
+            simulator.append(record)
+    result = simulator.result()
+    if profiler is not None:
+        profiler.note(
+            "traffic", perf_counter() - profile_started, result.instructions
+        )
+    return result
 
 
 def traffic_size_sweep(

@@ -41,6 +41,28 @@ from repro.workloads import (
 DEFAULT_TIMING_WINDOW = 80_000
 DEFAULT_FUNCTIONAL_WINDOW = 150_000
 
+# Per-process memo of finished timing runs, keyed by (benchmark,
+# window, machine config).  The per-config cell split (one parallel
+# cell per machine configuration) re-derives each figure's shared
+# baseline in several cells; the memo collapses those repeats within
+# one worker process.  Simulation is a pure function of
+# (trace, config), so memoized and fresh results are identical.
+_SIM_MEMO: Dict[Tuple, SimStats] = {}
+
+
+def _memo_simulate(name, window, trace, config) -> SimStats:
+    key = (name, window, config)
+    stats = _SIM_MEMO.get(key)
+    if stats is None:
+        stats = simulate(trace, config)
+        _SIM_MEMO[key] = stats
+    return stats
+
+
+def clear_sim_memo() -> None:
+    """Drop all memoized timing runs (used by tests)."""
+    _SIM_MEMO.clear()
+
 
 def _suite(benchmarks: Optional[Sequence[str]]) -> List[str]:
     """Resolve a benchmark subset to canonical full names, validated.
@@ -276,6 +298,18 @@ def fig5_ideal_morphing(
 FIG6_STEPS = ("L1_2x", "no_addr_cal_op", "svf_1p", "svf_2p", "svf_16p")
 
 
+def _dl1_doubled(base):
+    """The Figure 6 "L1_2x" machine: same DL1, twice the capacity."""
+    return base.with_(
+        dl1=base.dl1.__class__(
+            size=base.dl1.size * 2,
+            assoc=base.dl1.assoc,
+            line_size=base.dl1.line_size,
+            latency=base.dl1.latency,
+        )
+    )
+
+
 @dataclass
 class Fig6Result:
     """Progressive relaxations on the 16-wide machine (paper Figure 6)."""
@@ -309,14 +343,7 @@ def fig6_progressive(
     """Figure 6: 2x DL1, removed address calc, then SVF with 1/2/16 ports."""
     result = Fig6Result()
     base = table2_config(16)
-    doubled = base.with_(
-        dl1=base.dl1.__class__(
-            size=base.dl1.size * 2,
-            assoc=base.dl1.assoc,
-            line_size=base.dl1.line_size,
-            latency=base.dl1.latency,
-        )
-    )
+    doubled = _dl1_doubled(base)
     for name in _suite(benchmarks):
         trace = _trace_for(name, max_instructions)
         baseline = simulate(trace, base)
@@ -338,6 +365,19 @@ def fig6_progressive(
 # ---------------------------------------------------------------------------
 
 FIG7_CONFIGS = ("(4+0)", "(2+2)$", "(2+2)svf", "(2+2)svf_nosq")
+
+
+def _fig7_four_port():
+    """The Figure 7 "(4+0)" machine: 4 DL1 ports, +1 cycle latency."""
+    four_port = table2_config(16, dl1_ports=4)
+    return four_port.with_(
+        dl1=four_port.dl1.__class__(
+            size=four_port.dl1.size,
+            assoc=four_port.dl1.assoc,
+            line_size=four_port.dl1.line_size,
+            latency=four_port.dl1.latency + 1,
+        )
+    )
 
 
 @dataclass
@@ -418,15 +458,7 @@ def fig7_svf_vs_stack_cache(
     """
     result = Fig7Result()
     base = table2_config(16, dl1_ports=2)
-    four_port = table2_config(16, dl1_ports=4)
-    four_port = four_port.with_(
-        dl1=four_port.dl1.__class__(
-            size=four_port.dl1.size,
-            assoc=four_port.dl1.assoc,
-            line_size=four_port.dl1.line_size,
-            latency=four_port.dl1.latency + 1,
-        )
-    )
+    four_port = _fig7_four_port()
     for name in _suite(benchmarks):
         trace = _trace_for(name, max_instructions)
         baseline = simulate(trace, base)
@@ -635,3 +667,128 @@ def fig9_svf_speedup(
                 )
         result.speedups[name] = per_bench
     return result
+
+
+# ---------------------------------------------------------------------------
+# Per-config cells — one (benchmark, machine config) computation each.
+#
+# The parallel engine splits every timing figure into one cell per
+# machine configuration (see repro.harness.runall._plan_cells), so a
+# slow column no longer serializes behind the rest of its benchmark's
+# figure.  Each function reproduces exactly one column of the
+# corresponding full driver above: same trace, same configs, same
+# arithmetic — so a report assembled from per-config cells is
+# bit-identical to one assembled from whole-figure cells.  The shared
+# baselines these cells re-derive are collapsed by the per-process
+# _SIM_MEMO.
+# ---------------------------------------------------------------------------
+
+FIG5_CONFIGS = ("4-wide", "8-wide", "16-wide", "16-wide gshare")
+
+
+def _config_error(figure: str, config: str, known: Sequence[str]) -> ValueError:
+    return ValueError(
+        f"unknown {figure} config {config!r} (have {', '.join(known)})"
+    )
+
+
+def fig5_config_speedup(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+) -> float:
+    """One column of Figure 5 for one benchmark."""
+    name = _suite([benchmark])[0]
+    if config == "16-wide gshare":
+        base = table2_config(16, branch_predictor="gshare")
+    elif config in ("4-wide", "8-wide", "16-wide"):
+        base = table2_config(int(config.split("-", 1)[0]))
+    else:
+        raise _config_error("Figure 5", config, FIG5_CONFIGS)
+    trace = _trace_for(name, max_instructions)
+    baseline = _memo_simulate(name, max_instructions, trace, base)
+    ideal = _memo_simulate(
+        name, max_instructions, trace, base.with_svf(mode="ideal")
+    )
+    return ideal.speedup_over(baseline)
+
+
+def fig6_config_speedup(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+) -> float:
+    """One column of Figure 6 for one benchmark."""
+    name = _suite([benchmark])[0]
+    base = table2_config(16)
+    if config == "L1_2x":
+        variant = _dl1_doubled(base)
+    elif config == "no_addr_cal_op":
+        variant = base.with_(no_addr_calc=True)
+    elif config in ("svf_1p", "svf_2p", "svf_16p"):
+        variant = base.with_svf(mode="svf", ports=int(config[4:-1]))
+    else:
+        raise _config_error("Figure 6", config, FIG6_STEPS)
+    trace = _trace_for(name, max_instructions)
+    baseline = _memo_simulate(name, max_instructions, trace, base)
+    run = _memo_simulate(name, max_instructions, trace, variant)
+    return run.speedup_over(baseline)
+
+
+def fig7_config_result(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+    capacity_bytes: int = 8192,
+) -> Tuple[float, Optional[SimStats]]:
+    """One column of Figure 7; the "(2+2)svf" column also returns the
+    run's :class:`SimStats` (the Figure 8 reference breakdown)."""
+    name = _suite([benchmark])[0]
+    base = table2_config(16, dl1_ports=2)
+    if config == "(4+0)":
+        variant = _fig7_four_port()
+    elif config == "(2+2)$":
+        variant = base.with_svf(
+            mode="stack_cache", ports=2, capacity_bytes=capacity_bytes
+        )
+    elif config == "(2+2)svf":
+        variant = base.with_svf(
+            mode="svf", ports=2, capacity_bytes=capacity_bytes
+        )
+    elif config == "(2+2)svf_nosq":
+        variant = base.with_svf(
+            mode="svf", ports=2, capacity_bytes=capacity_bytes,
+            no_squash=True,
+        )
+    else:
+        raise _config_error("Figure 7", config, FIG7_CONFIGS)
+    trace = _trace_for(name, max_instructions)
+    baseline = _memo_simulate(name, max_instructions, trace, base)
+    run = _memo_simulate(name, max_instructions, trace, variant)
+    stats = run if config == "(2+2)svf" else None
+    return run.speedup_over(baseline), stats
+
+
+def fig9_config_speedup(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+    capacity_bytes: int = 8192,
+) -> float:
+    """One column of Figure 9 for one benchmark."""
+    if config not in FIG9_CONFIGS:
+        raise _config_error("Figure 9", config, FIG9_CONFIGS)
+    name = _suite([benchmark])[0]
+    regular_ports, svf_ports = int(config[1]), int(config[3])
+    base = table2_config(16, dl1_ports=regular_ports)
+    trace = _trace_for(name, max_instructions)
+    baseline = _memo_simulate(name, max_instructions, trace, base)
+    run = _memo_simulate(
+        name,
+        max_instructions,
+        trace,
+        base.with_svf(
+            mode="svf", ports=svf_ports, capacity_bytes=capacity_bytes
+        ),
+    )
+    return run.speedup_over(baseline)

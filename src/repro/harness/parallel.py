@@ -38,6 +38,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import profiling
+from repro.trace.serialization import (
+    TraceFormatError,
+    load_trace,
+    write_trace,
+)
 from repro.workloads import (
     get_disk_trace_cache,
     input_names,
@@ -71,20 +77,23 @@ _MISS = object()
 
 
 class TraceCache:
-    """Pickled store under ``<root>/v<SCHEMA_VERSION>/``, two namespaces:
+    """On-disk store under ``<root>/v<SCHEMA_VERSION>/``, two namespaces:
 
-    * functional traces, one file per (benchmark, input, opt level,
-      window) key — shared by every section that replays the same
-      trace;
-    * finished cell payloads under ``cells/`` — a warm report skips
-      the timing model entirely, not just emulation.
+    * functional traces, one ``.trace.bin`` file per (benchmark,
+      input, opt level, window) key in the columnar binary format of
+      :mod:`repro.trace.serialization` — shared by every section that
+      replays the same trace, and loaded straight into the packed
+      columns the hot loops consume (no per-record unpickling);
+    * finished cell payloads (pickled) under ``cells/`` — a warm
+      report skips the timing model entirely, not just emulation.
 
     Writes are atomic (temp file + ``os.replace``) so concurrent
     workers can race on the same key safely — worst case both compute
     and one wins.  A corrupt or truncated entry is dropped and treated
     as a miss.  Invalidation is by schema version only: the directory
     name pins ``SCHEMA_VERSION``, which any payload- or
-    trace-affecting change must bump.
+    trace-affecting change must bump (the columnar format itself
+    bumped it to 2, so stale pickled caches are simply never seen).
     """
 
     def __init__(self, root: str):
@@ -101,7 +110,7 @@ class TraceCache:
         benchmark, input_name, opt_level, window = key
         window_tag = "full" if window is None else str(window)
         return self.root / (
-            f"{benchmark}.{input_name}.O{opt_level}.w{window_tag}.trace.pkl"
+            f"{benchmark}.{input_name}.O{opt_level}.w{window_tag}.trace.bin"
         )
 
     def cell_path_for(self, cell: "TaskCell") -> Path:
@@ -144,12 +153,42 @@ class TraceCache:
             return
         self.stats.stores += 1
 
-    def load(self, key) -> Optional[list]:
-        trace = self._read(self.path_for(key))
-        return None if trace is _MISS else trace
+    def load(self, key):
+        """Columnar trace for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            trace = load_trace(str(path))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (TraceFormatError, ValueError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return trace
 
-    def store(self, key, trace: list) -> None:
-        self._write(self.path_for(key), trace)
+    def store(self, key, trace) -> None:
+        """Atomically persist a trace in the columnar binary format."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                write_trace(handle, trace)
+            os.replace(temp_path, path)
+        except Exception:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
 
     def load_cell(self, cell: "TaskCell") -> Any:
         """Finished payload for ``cell``, or the ``_MISS`` sentinel."""
@@ -176,7 +215,10 @@ class TaskCell:
 
     @property
     def label(self) -> str:
-        return f"{self.section}×{self.benchmark}"
+        config = dict(self.params).get("config")
+        if config is None:
+            return f"{self.section}×{self.benchmark}"
+        return f"{self.section}×{self.benchmark}[{config}]"
 
     def param(self, name: str, default: Any = None) -> Any:
         return dict(self.params).get(name, default)
@@ -195,39 +237,81 @@ def _cell_characterize(cell: TaskCell) -> Dict[str, Any]:
     }
 
 
-def _cell_fig5(cell: TaskCell) -> Dict[str, float]:
-    from repro.harness.experiments import fig5_ideal_morphing
-
-    result = fig5_ideal_morphing(
-        [cell.benchmark], max_instructions=cell.window
+def _cell_fig5(cell: TaskCell) -> Any:
+    """Fig 5: one column per cell (``config`` param), or the whole
+    benchmark row for legacy cells that carry no ``config``."""
+    from repro.harness.experiments import (
+        fig5_config_speedup,
+        fig5_ideal_morphing,
     )
-    return result.speedups[cell.benchmark]
+
+    config = cell.param("config")
+    if config is None:
+        result = fig5_ideal_morphing(
+            [cell.benchmark], max_instructions=cell.window
+        )
+        return result.speedups[cell.benchmark]
+    return fig5_config_speedup(
+        cell.benchmark, config, max_instructions=cell.window
+    )
 
 
-def _cell_fig6(cell: TaskCell) -> Dict[str, float]:
-    from repro.harness.experiments import fig6_progressive
+def _cell_fig6(cell: TaskCell) -> Any:
+    from repro.harness.experiments import (
+        fig6_config_speedup,
+        fig6_progressive,
+    )
 
-    result = fig6_progressive([cell.benchmark], max_instructions=cell.window)
-    return result.speedups[cell.benchmark]
+    config = cell.param("config")
+    if config is None:
+        result = fig6_progressive(
+            [cell.benchmark], max_instructions=cell.window
+        )
+        return result.speedups[cell.benchmark]
+    return fig6_config_speedup(
+        cell.benchmark, config, max_instructions=cell.window
+    )
 
 
 def _cell_fig7(cell: TaskCell) -> Dict[str, Any]:
-    from repro.harness.experiments import fig7_svf_vs_stack_cache
-
-    result = fig7_svf_vs_stack_cache(
-        [cell.benchmark], max_instructions=cell.window
+    from repro.harness.experiments import (
+        fig7_config_result,
+        fig7_svf_vs_stack_cache,
     )
-    return {
-        "speedups": result.speedups[cell.benchmark],
-        "svf_stats": result.svf_stats[cell.benchmark],
-    }
+
+    config = cell.param("config")
+    if config is None:
+        result = fig7_svf_vs_stack_cache(
+            [cell.benchmark], max_instructions=cell.window
+        )
+        return {
+            "speedups": result.speedups[cell.benchmark],
+            "svf_stats": result.svf_stats[cell.benchmark],
+        }
+    speedup, svf_stats = fig7_config_result(
+        cell.benchmark, config, max_instructions=cell.window
+    )
+    payload: Dict[str, Any] = {"speedup": speedup}
+    if svf_stats is not None:
+        payload["svf_stats"] = svf_stats
+    return payload
 
 
-def _cell_fig9(cell: TaskCell) -> Dict[str, float]:
-    from repro.harness.experiments import fig9_svf_speedup
+def _cell_fig9(cell: TaskCell) -> Any:
+    from repro.harness.experiments import (
+        fig9_config_speedup,
+        fig9_svf_speedup,
+    )
 
-    result = fig9_svf_speedup([cell.benchmark], max_instructions=cell.window)
-    return result.speedups[cell.benchmark]
+    config = cell.param("config")
+    if config is None:
+        result = fig9_svf_speedup(
+            [cell.benchmark], max_instructions=cell.window
+        )
+        return result.speedups[cell.benchmark]
+    return fig9_config_speedup(
+        cell.benchmark, config, max_instructions=cell.window
+    )
 
 
 def _cell_table3(cell: TaskCell) -> Dict[str, Dict[int, Any]]:
@@ -276,25 +360,47 @@ _CELL_RUNNERS: Dict[str, Callable[[TaskCell], Any]] = {
 }
 
 
-def _execute_cell(cell: TaskCell) -> Tuple[str, Any, float]:
-    """Worker entry: never raises — failures travel back as payloads."""
+def _execute_cell(
+    cell: TaskCell,
+) -> Tuple[str, Any, float, profiling.Snapshot]:
+    """Worker entry: never raises — failures travel back as payloads.
+
+    Each cell runs under its own phase profiler (saved/restored, so
+    inline runs nest inside any caller-scoped profiler) and ships the
+    picklable snapshot back as the fourth tuple element; a cache hit
+    returns an empty snapshot, since no phase ran.
+    """
     started = time.perf_counter()
+    profiler = profiling.PhaseProfiler()
+    previous = profiling.swap(profiler)
     try:
         cache = get_disk_trace_cache()
         if cache is not None:
             payload = cache.load_cell(cell)
             if payload is not _MISS:
-                return ("ok", payload, time.perf_counter() - started)
+                return ("ok", payload, time.perf_counter() - started, {})
         runner = _CELL_RUNNERS.get(cell.section)
         if runner is None:
             raise KeyError(f"unknown cell section {cell.section!r}")
         payload = runner(cell)
         if cache is not None:
             cache.store_cell(cell, payload)
-        return ("ok", payload, time.perf_counter() - started)
+        return (
+            "ok",
+            payload,
+            time.perf_counter() - started,
+            profiler.snapshot(),
+        )
     except Exception as exc:
         message = f"{type(exc).__name__}: {exc}"
-        return ("error", message, time.perf_counter() - started)
+        return (
+            "error",
+            message,
+            time.perf_counter() - started,
+            profiler.snapshot(),
+        )
+    finally:
+        profiling.swap(previous)
 
 
 def _init_worker(cache_dir: Optional[str]) -> None:
@@ -335,6 +441,13 @@ class CellOutcome:
     error: Optional[str] = None
     elapsed: float = 0.0
     attempts: int = 1
+    #: per-phase (calls, seconds, items) measured inside the worker;
+    #: empty when the payload came from the cell cache.
+    phases: profiling.Snapshot = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.phases is None:
+            self.phases = {}
 
     @property
     def ok(self) -> bool:
@@ -384,7 +497,7 @@ def _run_serial(
             attempts = 0
             while True:
                 attempts += 1
-                status, payload, elapsed = _execute_cell(cell)
+                status, payload, elapsed, phases = _execute_cell(cell)
                 if status == "ok" or attempts > options.retries:
                     break
                 note(f"retrying {cell.label} ({payload})")
@@ -394,6 +507,7 @@ def _run_serial(
                 error=None if status == "ok" else str(payload),
                 elapsed=elapsed,
                 attempts=attempts,
+                phases=phases,
             )
             outcomes.append(outcome)
             _note_outcome(note, outcome, index + 1, len(cells))
@@ -420,17 +534,19 @@ def _run_pool(
             attempts = 1
             while True:
                 try:
-                    status, payload, elapsed = futures[index].result(
-                        timeout=options.task_timeout
-                    )
+                    status, payload, elapsed, phases = futures[
+                        index
+                    ].result(timeout=options.task_timeout)
                 except FutureTimeoutError:
                     status = "error"
                     payload = f"timed out after {options.task_timeout:.0f}s"
                     elapsed = options.task_timeout
+                    phases = {}
                 except Exception as exc:  # broken pool, unpicklable result
                     status = "error"
                     payload = f"{type(exc).__name__}: {exc}"
                     elapsed = 0.0
+                    phases = {}
                 if status == "ok" or attempts > options.retries:
                     break
                 attempts += 1
@@ -441,6 +557,7 @@ def _run_pool(
                     status = "error"
                     payload = f"{type(exc).__name__}: {exc}"
                     elapsed = 0.0
+                    phases = {}
                     break
             outcomes[index] = CellOutcome(
                 cell=cell,
@@ -448,6 +565,7 @@ def _run_pool(
                 error=None if status == "ok" else str(payload),
                 elapsed=elapsed,
                 attempts=attempts,
+                phases=phases,
             )
             _note_outcome(note, outcomes[index], index + 1, total)
     return outcomes  # type: ignore[return-value]

@@ -23,6 +23,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.experiments import (
     CharacterizationResult,
+    FIG5_CONFIGS,
+    FIG6_STEPS,
+    FIG7_CONFIGS,
+    FIG9_CONFIGS,
     Fig5Result,
     Fig6Result,
     Fig7Result,
@@ -39,6 +43,7 @@ from repro.harness.parallel import (
     TaskCell,
     run_cells,
 )
+from repro.profiling import PhaseProfiler
 
 #: (section, which window it uses, extra params) in report order.
 _SECTION_PLAN: Tuple[Tuple[str, str], ...] = (
@@ -51,6 +56,17 @@ _SECTION_PLAN: Tuple[Tuple[str, str], ...] = (
     ("fig9", "timing"),
 )
 
+#: Timing figures split one cell per machine configuration, so a slow
+#: column (e.g. the gshare run) never serializes behind the rest of
+#: its benchmark's figure.  Tuples give the column order of each
+#: figure's table, which the merge preserves.
+_SECTION_CONFIGS: Dict[str, Tuple[str, ...]] = {
+    "fig5": FIG5_CONFIGS,
+    "fig6": FIG6_STEPS,
+    "fig7": FIG7_CONFIGS,
+    "fig9": FIG9_CONFIGS,
+}
+
 
 def _plan_cells(
     suite: Sequence[str],
@@ -59,17 +75,29 @@ def _plan_cells(
     period: int,
 ) -> List[TaskCell]:
     """Section-major cell order: workers hit distinct benchmarks first,
-    so cold-cache runs compute each trace once instead of racing on it."""
+    so cold-cache runs compute each trace once instead of racing on it.
+    Within a per-config section the config loop is outermost for the
+    same reason."""
     windows = {"timing": timing_window, "functional": functional_window}
     cells = []
     for section, window_kind in _SECTION_PLAN:
+        window = windows[window_kind]
+        configs = _SECTION_CONFIGS.get(section)
+        if configs is not None:
+            for config in configs:
+                for benchmark in suite:
+                    cells.append(
+                        TaskCell(
+                            section, benchmark, window,
+                            (("config", config),),
+                        )
+                    )
+            continue
         params: Tuple = ()
         if section == "table4":
             params = (("period", period),)
         for benchmark in suite:
-            cells.append(
-                TaskCell(section, benchmark, windows[window_kind], params)
-            )
+            cells.append(TaskCell(section, benchmark, window, params))
     return cells
 
 
@@ -78,15 +106,35 @@ def _merge(
     outcomes: Sequence[CellOutcome],
     period: int,
 ) -> Dict[str, object]:
-    """Fold per-cell payloads into result objects, in suite order."""
+    """Fold per-cell payloads into result objects, in suite order.
+
+    Per-config sections merge column by column in the figure's
+    canonical config order; a benchmark with any missing/failed column
+    drops out of that figure entirely (matching the old whole-figure
+    cell behaviour), with the specific cell named in the degraded
+    annotation.
+    """
     by_cell = {
-        (outcome.cell.section, outcome.cell.benchmark): outcome
+        (
+            outcome.cell.section,
+            outcome.cell.benchmark,
+            outcome.cell.param("config"),
+        ): outcome
         for outcome in outcomes
     }
 
-    def payload(section: str, benchmark: str):
-        outcome = by_cell.get((section, benchmark))
+    def payload(section: str, benchmark: str, config: str = None):
+        outcome = by_cell.get((section, benchmark, config))
         return outcome.payload if outcome is not None and outcome.ok else None
+
+    def config_row(section: str, benchmark: str):
+        row = {}
+        for config in _SECTION_CONFIGS[section]:
+            value = payload(section, benchmark, config)
+            if value is None:
+                return None
+            row[config] = value
+        return row
 
     characterization = CharacterizationResult()
     fig5 = Fig5Result()
@@ -104,13 +152,15 @@ def _merge(
             characterization.first_touch[benchmark] = char["first_touch"]
         for result, section in ((fig5, "fig5"), (fig6, "fig6"),
                                 (fig9, "fig9")):
-            speedups = payload(section, benchmark)
-            if speedups is not None:
-                result.speedups[benchmark] = speedups
-        seven = payload("fig7", benchmark)
-        if seven is not None:
-            fig7.speedups[benchmark] = seven["speedups"]
-            fig7.svf_stats[benchmark] = seven["svf_stats"]
+            row = config_row(section, benchmark)
+            if row is not None:
+                result.speedups[benchmark] = row
+        seven = config_row("fig7", benchmark)
+        if seven is not None and "svf_stats" in seven["(2+2)svf"]:
+            fig7.speedups[benchmark] = {
+                config: cell["speedup"] for config, cell in seven.items()
+            }
+            fig7.svf_stats[benchmark] = seven["(2+2)svf"]["svf_stats"]
         traffic = payload("table3", benchmark)
         if traffic is not None:
             table3.traffic.update(traffic)
@@ -136,6 +186,7 @@ def generate_report(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     task_timeout: float = 600.0,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> str:
     """Run everything; returns the report as markdown text.
 
@@ -144,6 +195,12 @@ def generate_report(
     picks the worker count (None → ``os.cpu_count()``, 1 → inline);
     ``cache_dir`` enables the shared on-disk trace cache.  The output
     is byte-identical across ``jobs`` values.
+
+    ``profiler``, if given, accumulates the per-phase breakdown of the
+    whole sweep: every cell's worker-side phase snapshot is merged in,
+    plus the report's own ``render`` phase.  The breakdown never
+    enters the document, so profiled and unprofiled reports stay
+    byte-identical.
     """
 
     def note(message: str) -> None:
@@ -153,6 +210,8 @@ def generate_report(
     suite = _suite(benchmarks)
     period = max(functional_window // 25, 1_000)
     started = time.time()
+    render_seconds = 0.0
+    render_started = time.perf_counter()
 
     out = io.StringIO()
     out.write("# SVF reproduction — full experiment report\n\n")
@@ -176,6 +235,7 @@ def generate_report(
     note("Tables 1-2 (inventories)")
     section("Table 1 — benchmarks", table1_workloads())
     section("Table 2 — machine models", table2_models())
+    render_seconds += time.perf_counter() - render_started
 
     cells = _plan_cells(suite, timing_window, functional_window, period)
     options = EngineOptions(
@@ -192,6 +252,9 @@ def generate_report(
             failures_by_section.setdefault(
                 outcome.cell.section, []
             ).append(outcome)
+        if profiler is not None:
+            profiler.merge(outcome.phases)
+    render_started = time.perf_counter()
     merged = _merge(suite, outcomes, period)
 
     characterization = merged["characterize"]
@@ -239,4 +302,7 @@ def generate_report(
     # so reports stay byte-comparable across runs and job counts.
     note(f"report complete in {time.time() - started:.1f}s")
     out.write("_Generated by repro.harness.runall._\n")
+    render_seconds += time.perf_counter() - render_started
+    if profiler is not None:
+        profiler.note("render", render_seconds)
     return out.getvalue()

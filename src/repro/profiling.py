@@ -1,0 +1,165 @@
+"""Built-in phase profiler for the trace pipeline.
+
+The end-to-end cost of every experiment decomposes into a handful of
+phases — ``compile`` (MiniC → assembled program), ``emulate`` (the
+functional emulator filling trace columns), ``timing`` (the
+out-of-order model), ``traffic`` (the Table 3/4 traffic model) and
+``render`` (report text generation).  Each hot loop notes its own
+wall time and instruction count into the *active* profiler, if one is
+installed; with no profiler active the per-call overhead is one
+module-global ``None`` check per phase invocation (not per
+instruction), so production runs pay nothing measurable.
+
+Snapshots are plain ``{phase: (calls, seconds, items)}`` dicts, so
+they pickle across the parallel engine's process boundary: each
+worker profiles its own cell and ships the snapshot back with the
+payload (see :class:`repro.harness.parallel.CellOutcome`), and the
+caller merges them into one suite-wide breakdown.  ``repro report
+--profile`` and ``repro profile <benchmark>`` render that breakdown;
+it never enters the report document itself, which stays
+byte-comparable across runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Canonical rendering order; unknown phases sort after these.
+PHASE_ORDER = ("compile", "emulate", "timing", "traffic", "render")
+
+#: Picklable form of a profiler: phase -> (calls, seconds, items).
+Snapshot = Dict[str, Tuple[int, float, int]]
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated cost of one phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    #: instructions (or records) processed — 0 when not meaningful.
+    items: int = 0
+
+    @property
+    def mips(self) -> float:
+        """Millions of items per second (0.0 when unmeasured)."""
+        if self.seconds <= 0.0 or self.items == 0:
+            return 0.0
+        return self.items / self.seconds / 1e6
+
+
+class PhaseProfiler:
+    """Accumulates :class:`PhaseStat` per phase; mergeable, renderable."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseStat] = {}
+
+    def note(self, phase: str, seconds: float, items: int = 0) -> None:
+        stat = self.phases.get(phase)
+        if stat is None:
+            stat = self.phases[phase] = PhaseStat()
+        stat.calls += 1
+        stat.seconds += seconds
+        stat.items += items
+
+    def merge(self, snapshot: Optional[Snapshot]) -> None:
+        """Fold a picklable snapshot (e.g. from a worker) into this one."""
+        if not snapshot:
+            return
+        for phase, (calls, seconds, items) in snapshot.items():
+            stat = self.phases.get(phase)
+            if stat is None:
+                stat = self.phases[phase] = PhaseStat()
+            stat.calls += calls
+            stat.seconds += seconds
+            stat.items += items
+
+    def snapshot(self) -> Snapshot:
+        return {
+            phase: (stat.calls, stat.seconds, stat.items)
+            for phase, stat in self.phases.items()
+        }
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.phases.values())
+
+    def render(self, title: str = "Phase profile") -> str:
+        """Human-readable per-phase wall-time / throughput table."""
+        total = self.total_seconds
+        lines = [
+            f"{title} (phase total {total:.3f}s)",
+            f"{'phase':10s} {'calls':>6s} {'seconds':>9s} {'share':>7s} "
+            f"{'Minstr':>9s} {'MIPS':>8s}",
+        ]
+        ordered = [p for p in PHASE_ORDER if p in self.phases]
+        ordered += sorted(p for p in self.phases if p not in PHASE_ORDER)
+        for phase in ordered:
+            stat = self.phases[phase]
+            share = 100.0 * stat.seconds / total if total > 0 else 0.0
+            mips = f"{stat.mips:8.2f}" if stat.items else f"{'-':>8s}"
+            lines.append(
+                f"{phase:10s} {stat.calls:6d} {stat.seconds:9.3f} "
+                f"{share:6.1f}% {stat.items / 1e6:9.2f} {mips}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The active profiler (per process)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[PhaseProfiler] = None
+
+
+def active() -> Optional[PhaseProfiler]:
+    """The currently installed profiler, or None (profiling off)."""
+    return _ACTIVE
+
+
+def swap(profiler: Optional[PhaseProfiler]) -> Optional[PhaseProfiler]:
+    """Install ``profiler`` (or None) and return the previous one.
+
+    Save/restore semantics rather than a flat on/off switch: the
+    parallel engine's inline path runs cells in the caller's process,
+    where a cell-scoped profiler must nest inside (and not clobber)
+    any caller-scoped one.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    return previous
+
+
+def note(phase: str, seconds: float, items: int = 0) -> None:
+    """Accumulate into the active profiler; no-op when none installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.note(phase, seconds, items)
+
+
+@contextmanager
+def profiled(
+    profiler: Optional[PhaseProfiler] = None,
+) -> Iterator[PhaseProfiler]:
+    """Context manager: install a profiler for the dynamic extent."""
+    if profiler is None:
+        profiler = PhaseProfiler()
+    previous = swap(profiler)
+    try:
+        yield profiler
+    finally:
+        swap(previous)
+
+
+__all__ = [
+    "PHASE_ORDER",
+    "PhaseProfiler",
+    "PhaseStat",
+    "Snapshot",
+    "active",
+    "note",
+    "profiled",
+    "swap",
+]

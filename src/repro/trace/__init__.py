@@ -6,12 +6,14 @@ from repro.trace.analysis import (
     OffsetLocality,
     StackDepthProfile,
 )
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import TraceRecord
 from repro.trace.serialization import (
     TraceFormatError,
     TraceWriter,
     load_trace,
     save_trace,
+    write_trace,
 )
 from repro.trace.regions import (
     AccessMethod,
@@ -25,6 +27,7 @@ from repro.trace.regions import (
 __all__ = [
     "AccessDistribution",
     "AccessMethod",
+    "ColumnarTrace",
     "MultiSink",
     "OffsetLocality",
     "Region",
@@ -38,4 +41,5 @@ __all__ = [
     "is_stack_address",
     "load_trace",
     "save_trace",
+    "write_trace",
 ]

@@ -1,164 +1,186 @@
-"""Binary trace serialization.
+"""Binary trace serialization (columnar blob format).
 
 Traces are expensive to produce (functional emulation) and cheap to
 replay (the timing model), so persisting them pays off when sweeping
 many machine configurations — the same split SimpleScalar users make
-with EIO traces.  The format is a fixed 44-byte little-endian record:
+with EIO traces.  Since the in-memory representation is already
+columnar (:class:`~repro.trace.columnar.ColumnarTrace`), the file is
+just the columns back to back::
 
-``<I``  pc
-``<B``  opcode number (see :mod:`repro.isa.encoding`)
-``<B``  flags (load/store/branch/conditional/taken/sp-update bits)
-``<B``  size, ``<b`` base_reg (-1 = none), ``<b`` dst (-1 = none),
-``<b``  src count, ``<BB`` srcs,
-``<q``  displacement (a full immediate for ALU records),
-``<i``  sp_update_immediate,
-``<Q``  addr, ``<I`` next_pc, ``<Q`` sp_value.
+    magic   6 bytes   b"SVFT\\x03\\x00"
+    count   <Q        number of records
+    pc      count * 8 bytes, little-endian uint64
+    opcode  count bytes (repro.isa.encoding.OPCODE_NUMBERS)
+    flags   count bytes (FLAG_* bits from repro.trace.columnar)
+    size    count bytes
+    base    count bytes, int8 (-1 = none)
+    dst     count bytes, int8 (-1 = none)
+    nsrc    count bytes
+    src0    count bytes
+    src1    count bytes
+    disp    count * 8 bytes, little-endian int64
+    spimm   count * 8 bytes, little-endian int64
+    addr    count * 8 bytes, little-endian uint64
+    next_pc count * 8 bytes, little-endian uint64
+    sp      count * 8 bytes, little-endian uint64
 
-A magic header guards against version skew.
+One ``tobytes``/``frombytes`` per column replaces one ``struct`` call
+per record, so saving/loading is dominated by raw I/O.  The magic
+header guards against version skew: files written by the old
+record-per-struct format (``SVFT\\x02``) are rejected, not misread.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Iterable, List
+import sys
+from array import array
+from typing import BinaryIO, Iterable
 
-from repro.isa.encoding import OPCODE_NAMES, OPCODE_NUMBERS
-from repro.isa.instructions import OPCODES
+from repro.isa.encoding import OPCODE_NAMES
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import TraceRecord
 
-MAGIC = b"SVFT\x02\x00"
+MAGIC = b"SVFT\x03\x00"
 
-_RECORD = struct.Struct("<IBBBbbbBBqiQIQ")
+_COUNT = struct.Struct("<Q")
 
-_FLAG_LOAD = 1
-_FLAG_STORE = 2
-_FLAG_BRANCH = 4
-_FLAG_CONDITIONAL = 8
-_FLAG_TAKEN = 16
-_FLAG_SP_UPDATE = 32
+#: (column name, array typecode or None for bytearray) in file order.
+COLUMN_LAYOUT = (
+    ("pc", "Q"),
+    ("opcode", None),
+    ("flags", None),
+    ("size", None),
+    ("base", "b"),
+    ("dst", "b"),
+    ("nsrc", None),
+    ("src0", None),
+    ("src1", None),
+    ("disp", "q"),
+    ("spimm", "q"),
+    ("addr", "Q"),
+    ("next_pc", "Q"),
+    ("sp", "Q"),
+)
+
+_BIG_ENDIAN = sys.byteorder == "big"
 
 
 class TraceFormatError(ValueError):
     """Raised when a file is not a valid serialized trace."""
 
 
-def _flags_of(record: TraceRecord) -> int:
-    flags = 0
-    if record.is_load:
-        flags |= _FLAG_LOAD
-    if record.is_store:
-        flags |= _FLAG_STORE
-    if record.is_branch:
-        flags |= _FLAG_BRANCH
-    if record.is_conditional:
-        flags |= _FLAG_CONDITIONAL
-    if record.taken:
-        flags |= _FLAG_TAKEN
-    if record.sp_update:
-        flags |= _FLAG_SP_UPDATE
-    return flags
+def _column_to_bytes(column) -> bytes:
+    if isinstance(column, bytearray):
+        return bytes(column)
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts only in CI
+        swapped = array(column.typecode, column)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return column.tobytes()
 
 
-def _pack(record: TraceRecord) -> bytes:
-    srcs = record.srcs[:2]
-    return _RECORD.pack(
-        record.pc,
-        OPCODE_NUMBERS[record.op],
-        _flags_of(record),
-        record.size,
-        record.base_reg if record.base_reg is not None else -1,
-        record.dst if record.dst is not None else -1,
-        len(srcs),
-        srcs[0] if len(srcs) > 0 else 0,
-        srcs[1] if len(srcs) > 1 else 0,
-        record.displacement,
-        record.sp_update_immediate,
-        record.addr,
-        record.next_pc,
-        record.sp_value,
-    )
-
-
-def _unpack(blob: bytes, index: int) -> TraceRecord:
-    (
-        pc,
-        opcode,
-        flags,
-        size,
-        base_reg,
-        dst,
-        src_count,
-        src0,
-        src1,
-        displacement,
-        sp_update_immediate,
-        addr,
-        next_pc,
-        sp_value,
-    ) = _RECORD.unpack(blob)
-    name = OPCODE_NAMES.get(opcode)
-    if name is None:
-        raise TraceFormatError(f"bad opcode {opcode} at record {index}")
-    srcs = tuple((src0, src1)[:src_count])
-    return TraceRecord(
-        index=index,
-        pc=pc,
-        op=name,
-        op_class=OPCODES[name].op_class,
-        srcs=srcs,
-        dst=dst if dst >= 0 else None,
-        is_load=bool(flags & _FLAG_LOAD),
-        is_store=bool(flags & _FLAG_STORE),
-        addr=addr,
-        size=size,
-        base_reg=base_reg if base_reg >= 0 else None,
-        displacement=displacement,
-        is_branch=bool(flags & _FLAG_BRANCH),
-        is_conditional=bool(flags & _FLAG_CONDITIONAL),
-        taken=bool(flags & _FLAG_TAKEN),
-        next_pc=next_pc,
-        sp_value=sp_value,
-        sp_update=bool(flags & _FLAG_SP_UPDATE),
-        sp_update_immediate=sp_update_immediate,
-    )
+def _write_columns(stream: BinaryIO, trace: ColumnarTrace) -> int:
+    count = len(trace)
+    stream.write(MAGIC)
+    stream.write(_COUNT.pack(count))
+    for name, _ in COLUMN_LAYOUT:
+        stream.write(_column_to_bytes(getattr(trace, name)))
+    return count
 
 
 class TraceWriter:
-    """Streaming sink: attach to ``Machine.run(trace_sink=...)``."""
+    """Streaming sink: attach to ``Machine.run(trace_sink=...)``.
+
+    Records are buffered column-wise and written in one shot by
+    :meth:`close` (the columnar format is not per-record appendable).
+    Usable as a context manager.
+    """
 
     def __init__(self, stream: BinaryIO):
         self._stream = stream
-        self.count = 0
-        stream.write(MAGIC)
+        self._buffer = ColumnarTrace()
+        self._closed = False
+
+    @property
+    def count(self) -> int:
+        return len(self._buffer)
 
     def append(self, record: TraceRecord) -> None:
-        self._stream.write(_pack(record))
-        self.count += 1
+        self._buffer.append(record)
+
+    @property
+    def buffer(self) -> ColumnarTrace:
+        """The buffered columns (e.g. to reuse without re-reading)."""
+        return self._buffer
+
+    def close(self) -> int:
+        """Write the buffered trace; returns the record count."""
+        if self._closed:
+            return len(self._buffer)
+        self._closed = True
+        return _write_columns(self._stream, self._buffer)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
 
 
-def save_trace(trace: Iterable[TraceRecord], path: str) -> int:
-    """Write a trace to ``path``; returns the record count."""
+def write_trace(stream: BinaryIO, trace: Iterable) -> int:
+    """Write a trace to an open binary stream; returns the record count.
+
+    Accepts a :class:`ColumnarTrace` (written as-is) or any iterable
+    of :class:`TraceRecord` (packed first).  Used by callers that
+    manage the file themselves (e.g. the trace cache's atomic
+    temp-file-then-rename writes).
+    """
+    return _write_columns(stream, ColumnarTrace.from_records(trace))
+
+
+def save_trace(trace: Iterable, path: str) -> int:
+    """Write a trace to ``path``; returns the record count.
+
+    Accepts a :class:`ColumnarTrace` (written as-is) or any iterable
+    of :class:`TraceRecord` (packed first).
+    """
     with open(path, "wb") as stream:
-        writer = TraceWriter(stream)
-        for record in trace:
-            writer.append(record)
-        return writer.count
+        return write_trace(stream, trace)
 
 
-def load_trace(path: str) -> List[TraceRecord]:
+def load_trace(path: str) -> ColumnarTrace:
     """Read a trace written by :func:`save_trace` / :class:`TraceWriter`."""
     with open(path, "rb") as stream:
-        header = stream.read(len(MAGIC))
-        if header != MAGIC:
-            raise TraceFormatError(f"bad trace header in {path!r}")
-        out: List[TraceRecord] = []
-        index = 0
-        record_size = _RECORD.size
-        while True:
-            blob = stream.read(record_size)
-            if not blob:
-                return out
-            if len(blob) != record_size:
+        blob = stream.read()
+    header_size = len(MAGIC) + _COUNT.size
+    if blob[: len(MAGIC)] != MAGIC or len(blob) < header_size:
+        raise TraceFormatError(f"bad trace header in {path!r}")
+    (count,) = _COUNT.unpack_from(blob, len(MAGIC))
+    trace = ColumnarTrace()
+    offset = header_size
+    for name, typecode in COLUMN_LAYOUT:
+        if typecode is None:
+            width = count
+            column = bytearray(blob[offset : offset + width])
+        else:
+            column = array(typecode)
+            width = count * column.itemsize
+            if len(blob) - offset < width:
                 raise TraceFormatError(f"truncated trace file {path!r}")
-            out.append(_unpack(blob, index))
-            index += 1
+            column.frombytes(blob[offset : offset + width])
+            if _BIG_ENDIAN:  # pragma: no cover
+                column.byteswap()
+        if len(column) != count:
+            raise TraceFormatError(f"truncated trace file {path!r}")
+        setattr(trace, name, column)
+        offset += width
+    if offset != len(blob):
+        raise TraceFormatError(f"trailing bytes in trace file {path!r}")
+    for opcode in trace.opcode:
+        if opcode not in OPCODE_NAMES:
+            raise TraceFormatError(
+                f"bad opcode {opcode} in trace file {path!r}"
+            )
+    return trace

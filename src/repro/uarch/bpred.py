@@ -17,6 +17,10 @@ class PerfectPredictor:
         """Return True if the branch is predicted correctly."""
         return True
 
+    def predict_bits(self, pc: int, is_conditional, taken) -> bool:
+        """Unpacked-field twin of :meth:`predict` (columnar hot loop)."""
+        return True
+
 
 class GSharePredictor:
     """Global-history XOR-indexed two-bit-counter predictor."""
@@ -33,13 +37,21 @@ class GSharePredictor:
 
     def predict(self, record) -> bool:
         """Predict one branch record; updates state; True if correct."""
-        if not record.is_conditional:
+        return self.predict_bits(record.pc, record.is_conditional, record.taken)
+
+    def predict_bits(self, pc: int, is_conditional, taken) -> bool:
+        """Predict one branch from unpacked fields; True if correct.
+
+        ``is_conditional``/``taken`` accept any truthy value (the
+        columnar loop passes raw flag bits).
+        """
+        if not is_conditional:
             return True
         self.lookups += 1
-        index = ((record.pc >> 2) ^ self._history) & self._table_mask
+        index = ((pc >> 2) ^ self._history) & self._table_mask
         counter = self._counters[index]
         predicted_taken = counter >= 2
-        taken = record.taken
+        taken = bool(taken)
         if taken and counter < 3:
             self._counters[index] = counter + 1
         elif not taken and counter > 0:

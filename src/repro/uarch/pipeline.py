@@ -33,31 +33,62 @@ The stack unit is pluggable (``config.svf.mode``):
 ``stack_cache``
     the decoupled stack cache: stack references use stack-cache ports
     and refill from the L2; every miss moves whole lines.
+
+The loop reads the trace column-wise (:class:`ColumnarTrace`; other
+iterables are packed on entry) and probes the per-cycle resource pools
+as raw ``{cycle: used}`` dicts — the structural semantics of
+:class:`repro.uarch.resources.CyclePool`, inlined because pool probes
+dominate the profile.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Iterable, Optional
 
+from repro import profiling
 from repro.core.stack_cache import StackCache
 from repro.core.svf import StackValueFile
-from repro.isa.instructions import OpClass
+from repro.isa.encoding import OPCODE_NUMBERS
+from repro.isa.instructions import OPCODES, OpClass
 from repro.isa.registers import NUM_REGISTERS, SP
-from repro.trace.regions import is_stack_address
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.regions import STACK_REGION_FLOOR
 from repro.uarch.bpred import make_predictor
 from repro.uarch.cache import build_hierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.resources import CyclePool, acquire_all
 from repro.uarch.stats import SimStats
 
 _DIV_OPS = ("divq", "remq")
 
+#: Completion latency of IMULT ops by opcode number (0 = not an IMULT).
+_MULT_LATENCY = [0] * (len(OPCODE_NUMBERS) + 1)
+for _name, _num in OPCODE_NUMBERS.items():
+    if OPCODES[_name].op_class is OpClass.IMULT:
+        _MULT_LATENCY[_num] = 20 if _name in _DIV_OPS else 3
+
+_LDA = OPCODE_NUMBERS["lda"]
+
+#: Integer route codes for memory references.
+_R_DL1 = 0
+_R_FAST = 1
+_R_REROUTE = 2
+_R_SC = 3
+
 
 def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     """Run the timing model over a trace; returns :class:`SimStats`."""
+    profiler = profiling.active()
+    profile_started = perf_counter() if profiler is not None else 0.0
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_records(trace)
     stats = SimStats(config_name=config.name)
     predictor = make_predictor(config.branch_predictor)
+    # Perfect prediction is the common case; skip the call entirely.
+    predict_bits = getattr(predictor, "predict_bits", None)
+    if config.branch_predictor == "perfect":
+        predict_bits = None
     dl1, l2 = build_hierarchy(config.dl1, config.l2, config.memory_latency)
 
     svf_conf = config.svf
@@ -75,35 +106,45 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     elif mode == "stack_cache":
         stack_cache = StackCache(capacity_bytes=svf_conf.capacity_bytes)
 
-    fetch_pool = CyclePool("fetch", config.decode_width)
-    dispatch_pool = CyclePool("dispatch", config.decode_width)
-    issue_pool = CyclePool("issue", config.issue_width)
-    commit_pool = CyclePool("commit", config.commit_width)
-    alu_pool = CyclePool("alu", config.int_alus)
-    mult_pool = CyclePool("mult", config.int_mults)
-    dl1_ports = CyclePool("dl1_ports", config.dl1_ports)
-    stack_ports = (
-        CyclePool("stack_ports", svf_conf.ports)
-        if mode in ("svf", "stack_cache")
-        else None
-    )
+    # Resource pools as raw {cycle: units-used} dicts (CyclePool,
+    # inlined): the earliest cycle >= floor with a free unit wins.
+    fetch_used: dict = {}
+    fetch_width = config.decode_width
+    dispatch_used: dict = {}
+    dispatch_width = config.decode_width
+    issue_used: dict = {}
+    issue_width = config.issue_width
+    commit_used: dict = {}
+    commit_width = config.commit_width
+    alu_used: dict = {}
+    alu_width = config.int_alus
+    mult_used: dict = {}
+    mult_width = config.int_mults
+    dl1_used: dict = {}
+    dl1_width = config.dl1_ports
+    stack_used: Optional[dict] = None
+    stack_width = svf_conf.ports
+    if mode in ("svf", "stack_cache"):
+        stack_used = {}
     # Banked SVF: one single-ported pool per bank, selected by the
     # low-order word-address bits (conclusion of the paper: banking is
     # the cheap alternative to true multiporting).
-    svf_banks = (
-        [CyclePool(f"svf_bank{i}", 1) for i in range(svf_conf.banks)]
-        if mode == "svf" and svf_conf.banks > 0
-        else None
-    )
+    bank_used = None
+    num_banks = svf_conf.banks
+    if mode == "svf" and num_banks > 0:
+        bank_used = [dict() for _ in range(num_banks)]
 
     reg_ready = [0] * NUM_REGISTERS
     entry_ready = {}  # SVF quad-word -> cycle its renamed value is ready
     last_store = {}  # quad-word -> (index, complete) for LSQ forwarding
     pending_gpr_store = {}  # quad-word -> (index, complete) for squashes
 
-    ifq_ring = deque(maxlen=config.ifq_size)
-    ruu_ring = deque(maxlen=config.ruu_size)
-    lsq_ring = deque(maxlen=config.lsq_size)
+    ifq_size = config.ifq_size
+    ruu_size = config.ruu_size
+    lsq_size = config.lsq_size
+    ifq_ring = deque(maxlen=ifq_size)
+    ruu_ring = deque(maxlen=ruu_size)
+    lsq_ring = deque(maxlen=lsq_size)
 
     redirect_at = 0
     decode_block = 0
@@ -120,20 +161,46 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     forward_latency = config.store_forward_latency
     frontend_depth = config.frontend_depth
     dl1_latency = config.dl1.latency
+    agu_depth = config.agu_depth
+    no_addr_calc = config.no_addr_calc
+    spec_sp = svf_conf.spec_sp
+    mispredict_redirect = config.mispredict_redirect
+    sp_block_mode = mode in ("svf", "ideal")
+    mode_ideal = mode == "ideal"
+    mode_svf = mode == "svf"
+    mode_sc = mode == "stack_cache"
+    stack_floor = STACK_REGION_FLOOR
 
     switch_period = config.context_switch_period
+    switch_overhead = config.context_switch_overhead
     switch_bytes = 0
     switches = 0
 
-    for index, record in enumerate(trace):
-        stats.instructions += 1
+    branches = 0
+    mispredictions = 0
+
+    col_pc = trace.pc
+    col_opcode = trace.opcode
+    col_flags = trace.flags
+    col_size = trace.size
+    col_base = trace.base
+    col_dst = trace.dst
+    col_nsrc = trace.nsrc
+    col_src0 = trace.src0
+    col_src1 = trace.src1
+    col_spimm = trace.spimm
+    col_addr = trace.addr
+    col_sp = trace.sp
+    n = len(col_pc)
+
+    for index in range(n):
+        flags = col_flags[index]
+        is_mem = flags & 3
 
         # ------------------------------------------- context switches
         if switch_period and index and index % switch_period == 0:
             switches += 1
-            redirect_at = max(
-                redirect_at, last_commit + config.context_switch_overhead
-            )
+            redirect_at = max(redirect_at, last_commit + switch_overhead)
             if svf is not None:
                 switch_bytes += svf.context_switch()
                 entry_ready.clear()
@@ -144,19 +211,39 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
 
         # ------------------------------------------------------ fetch
         fetch_floor = redirect_at
-        if len(ifq_ring) == config.ifq_size:
-            fetch_floor = max(fetch_floor, ifq_ring[0])
-        fetch_cycle = fetch_pool.acquire(fetch_floor)
+        if len(ifq_ring) == ifq_size:
+            head = ifq_ring[0]
+            if head > fetch_floor:
+                fetch_floor = head
+        cycle = fetch_floor
+        used = fetch_used.get(cycle, 0)
+        while used >= fetch_width:
+            cycle += 1
+            used = fetch_used.get(cycle, 0)
+        fetch_used[cycle] = used + 1
+        fetch_cycle = cycle
 
         # ---------------------------------------------------- dispatch
-        dispatch_floor = max(
-            fetch_cycle + frontend_depth, prev_dispatch, decode_block
-        )
-        if len(ruu_ring) == config.ruu_size:
-            dispatch_floor = max(dispatch_floor, ruu_ring[0])
-        if record.is_mem and len(lsq_ring) == config.lsq_size:
-            dispatch_floor = max(dispatch_floor, lsq_ring[0])
-        dispatch_cycle = dispatch_pool.acquire(dispatch_floor)
+        dispatch_floor = fetch_cycle + frontend_depth
+        if prev_dispatch > dispatch_floor:
+            dispatch_floor = prev_dispatch
+        if decode_block > dispatch_floor:
+            dispatch_floor = decode_block
+        if len(ruu_ring) == ruu_size:
+            head = ruu_ring[0]
+            if head > dispatch_floor:
+                dispatch_floor = head
+        if is_mem and len(lsq_ring) == lsq_size:
+            head = lsq_ring[0]
+            if head > dispatch_floor:
+                dispatch_floor = head
+        cycle = dispatch_floor
+        used = dispatch_used.get(cycle, 0)
+        while used >= dispatch_width:
+            cycle += 1
+            used = dispatch_used.get(cycle, 0)
+        dispatch_used[cycle] = used + 1
+        dispatch_cycle = cycle
         prev_dispatch = dispatch_cycle
         ifq_ring.append(dispatch_cycle)
 
@@ -164,7 +251,7 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
         # immediate adjustments for free; any other $sp write stalls
         # decode until it resolves (Section 3.1).
         if svf is not None and not sp_seen:
-            svf.update_sp(record.sp_value)
+            svf.update_sp(col_sp[index])
             sp_seen = True
 
         # ----------------------------------------------- routing
@@ -176,62 +263,99 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
                 pending_gpr_store.clear()
             window_squashes = 0
             window_end = index + svf_conf.adaptive_window
-        svf_active = not adaptive or index >= svf_disabled_until
 
-        route = "dl1"
+        route = _R_DL1
         qw = 0
-        if record.is_mem:
-            qw = record.addr & ~7
-            on_stack = is_stack_address(record.addr)
-            if mode == "ideal" and on_stack:
-                route = "fast"
-            elif mode == "svf" and on_stack and svf_active:
-                if svf.covers(record.addr):
-                    route = "fast" if record.base_reg == SP else "reroute"
-                else:
-                    stats.svf_out_of_range += 1
-            elif mode == "stack_cache" and on_stack:
-                route = "sc"
+        addr = 0
+        drop_base = False
+        if is_mem:
+            addr = col_addr[index]
+            qw = addr & ~7
+            on_stack = addr >= stack_floor
+            if on_stack:
+                if mode_ideal:
+                    route = _R_FAST
+                elif mode_svf and (
+                    not adaptive or index >= svf_disabled_until
+                ):
+                    if svf.covers(addr):
+                        route = (
+                            _R_FAST
+                            if col_base[index] == SP
+                            else _R_REROUTE
+                        )
+                    else:
+                        stats.svf_out_of_range += 1
+                elif mode_sc:
+                    route = _R_SC
+            drop_base = (route == _R_FAST and spec_sp) or (
+                no_addr_calc and on_stack
+            )
 
         # ------------------------------------------------ readiness
         ready = dispatch_cycle + 1
-        drop_base = record.is_mem and (
-            (route == "fast" and svf_conf.spec_sp)
-            or (config.no_addr_calc and is_stack_address(record.addr))
-        )
-        if record.is_mem and config.agu_depth and not drop_base:
+        if is_mem and agu_depth and not drop_base:
             # Deep pipelines place address generation several stages
             # past dispatch; morphed references resolved in decode
             # skip those stages entirely (Section 3.1).
-            ready += config.agu_depth
-        for src in record.srcs:
-            if drop_base and src == record.base_reg and (
-                not record.is_store or src != record.dst
-            ):
-                continue
-            if reg_ready[src] > ready:
-                ready = reg_ready[src]
+            ready += agu_depth
+        nsrc = col_nsrc[index]
+        if nsrc:
+            if drop_base:
+                base = col_base[index]
+                src = col_src0[index]
+                if src != base and reg_ready[src] > ready:
+                    ready = reg_ready[src]
+                if nsrc > 1:
+                    src = col_src1[index]
+                    if src != base and reg_ready[src] > ready:
+                        ready = reg_ready[src]
+            else:
+                when = reg_ready[col_src0[index]]
+                if when > ready:
+                    ready = when
+                if nsrc > 1:
+                    when = reg_ready[col_src1[index]]
+                    if when > ready:
+                        ready = when
 
         # ------------------------------------------- issue + latency
-        if record.is_mem:
-            if route in ("fast", "reroute"):
-                if svf_banks is not None:
-                    port_pool = svf_banks[(qw >> 3) % len(svf_banks)]
-                else:
-                    port_pool = stack_ports
-            elif route == "sc":
-                port_pool = stack_ports
+        if is_mem:
+            if route == _R_DL1:
+                port_used = dl1_used
+                port_width = dl1_width
+            elif route == _R_SC:
+                port_used = stack_used
+                port_width = stack_width
+            elif bank_used is not None:
+                port_used = bank_used[(qw >> 3) % num_banks]
+                port_width = 1
+            else:  # svf ports, or None in ideal mode (no port limit)
+                port_used = stack_used
+                port_width = stack_width
+            cycle = ready
+            if port_used is None:
+                used = issue_used.get(cycle, 0)
+                while used >= issue_width:
+                    cycle += 1
+                    used = issue_used.get(cycle, 0)
+                issue_used[cycle] = used + 1
             else:
-                port_pool = dl1_ports
-            pools = (
-                [issue_pool, port_pool]
-                if (port_pool is not None and route != "fast")
-                or (route == "fast" and mode == "svf")
-                else [issue_pool]
-            )
-            issue_cycle = acquire_all(pools, ready)
+                while True:
+                    used = issue_used.get(cycle, 0)
+                    if used < issue_width:
+                        port_use = port_used.get(cycle, 0)
+                        if port_use < port_width:
+                            issue_used[cycle] = used + 1
+                            port_used[cycle] = port_use + 1
+                            break
+                    cycle += 1
+            issue_cycle = cycle
+            is_store = flags & 2
             complete = _memory_complete(
-                record,
+                is_store,
+                addr,
+                col_size[index],
                 index,
                 qw,
                 route,
@@ -248,7 +372,7 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
                 dl1_latency,
                 forward_latency,
             )
-            if route == "fast" and record.is_load:
+            if route == _R_FAST and not is_store:
                 # Squash check: a pending gpr-store to the same word
                 # that has not completed by our issue time means this
                 # morphed load read a stale value (Section 3.2).
@@ -272,55 +396,74 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
                         )
             lsq_placeholder = True
         else:
-            fu_pool = (
-                mult_pool
-                if record.op_class is OpClass.IMULT
-                else alu_pool
-            )
-            issue_cycle = acquire_all([issue_pool, fu_pool], ready)
-            if record.op_class is OpClass.IMULT:
-                latency = 20 if record.op in _DIV_OPS else 3
+            latency = _MULT_LATENCY[col_opcode[index]]
+            if latency:
+                fu_used = mult_used
+                fu_width = mult_width
             else:
+                fu_used = alu_used
+                fu_width = alu_width
                 latency = 1
+            cycle = ready
+            while True:
+                used = issue_used.get(cycle, 0)
+                if used < issue_width:
+                    fu_use = fu_used.get(cycle, 0)
+                    if fu_use < fu_width:
+                        issue_used[cycle] = used + 1
+                        fu_used[cycle] = fu_use + 1
+                        break
+                cycle += 1
+            issue_cycle = cycle
             complete = issue_cycle + latency
             lsq_placeholder = False
 
         # --------------------------------------------------- branches
-        if record.is_branch:
-            stats.branches += 1
-            correct = predictor.predict(record)
-            if not correct:
-                stats.mispredictions += 1
+        if flags & 4:
+            branches += 1
+            if predict_bits is not None and not predict_bits(
+                col_pc[index], flags & 8, flags & 16
+            ):
+                mispredictions += 1
                 redirect_at = max(
-                    redirect_at, complete + config.mispredict_redirect
+                    redirect_at, complete + mispredict_redirect
                 )
 
         # $sp interlock: unexpected (non-immediate) updates stall
         # decode of everything younger until the new $sp resolves.
-        if record.sp_update:
+        if flags & 32:
             if svf is not None:
-                svf.update_sp(record.sp_value)
-            if (
-                mode in ("svf", "ideal")
-                and record.op == "lda"
-                and record.sp_update_immediate != 0
+                svf.update_sp(col_sp[index])
+            if sp_block_mode and not (
+                col_opcode[index] == _LDA and col_spimm[index] != 0
             ):
-                pass  # speculative $sp copy tracks immediates for free
-            elif mode in ("svf", "ideal"):
-                decode_block = max(decode_block, complete)
-
+                # A speculative $sp copy tracks immediate adjustments
+                # for free; anything else blocks decode.
+                if complete > decode_block:
+                    decode_block = complete
         # ----------------------------------------------------- commit
-        commit_cycle = commit_pool.acquire(max(complete + 1, last_commit))
+        cycle = complete + 1
+        if last_commit > cycle:
+            cycle = last_commit
+        used = commit_used.get(cycle, 0)
+        while used >= commit_width:
+            cycle += 1
+            used = commit_used.get(cycle, 0)
+        commit_used[cycle] = used + 1
+        commit_cycle = cycle
         last_commit = commit_cycle
         ruu_ring.append(commit_cycle)
         if lsq_placeholder:
             lsq_ring.append(commit_cycle)
 
         # ---------------------------------------------------- results
-        dst = record.dst
-        if dst is not None:
+        dst = col_dst[index]
+        if dst >= 0:
             reg_ready[dst] = complete
 
+    stats.instructions = n
+    stats.branches = branches
+    stats.mispredictions = mispredictions
     stats.cycles = last_commit
     stats.dl1_accesses = dl1.hits + dl1.misses
     stats.dl1_hits = dl1.hits
@@ -336,11 +479,15 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     if switch_period:
         stats.extras["context_switches"] = switches
         stats.extras["switch_writeback_bytes"] = switch_bytes
+    if profiler is not None:
+        profiler.note("timing", perf_counter() - profile_started, n)
     return stats
 
 
 def _memory_complete(
-    record,
+    is_store,
+    addr,
+    size,
     index,
     qw,
     route,
@@ -359,21 +506,21 @@ def _memory_complete(
 ):
     """Latency/state handling for one memory reference."""
     svf_conf = config.svf
-    if record.is_load:
-        stats.loads += 1
-    else:
+    if is_store:
         stats.stores += 1
+    else:
+        stats.loads += 1
 
-    if route == "fast":
+    if route == _R_FAST:
         fast_latency = svf_conf.fast_latency
         if svf is not None:
-            outcome = svf.access(record.addr, record.size, record.is_store)
+            outcome = svf.access(addr, size, bool(is_store))
             if outcome.filled:
                 # A demand fill reads the word from the L1: the data
                 # arrives at L1 (or below) latency plus one cycle of
                 # SVF insertion.
-                fast_latency = dl1.access(record.addr) + 1
-        if record.is_store:
+                fast_latency = dl1.access(addr) + 1
+        if is_store:
             stats.svf_fast_stores += 1
             complete = issue_cycle + svf_conf.fast_latency
             entry_ready[qw] = complete
@@ -385,13 +532,13 @@ def _memory_complete(
             )
         return complete
 
-    if route == "reroute":
+    if route == _R_REROUTE:
         stats.svf_rerouted += 1
-        outcome = svf.access(record.addr, record.size, record.is_store)
+        outcome = svf.access(addr, size, bool(is_store))
         access_latency = svf_conf.reroute_latency
         if outcome.filled:
-            access_latency = dl1.access(record.addr) + 1
-        if record.is_store:
+            access_latency = dl1.access(addr) + 1
+        if is_store:
             # Stores complete into the LSQ as on the DL1 path; the
             # reroute penalty applies to loads, which must poll the
             # SVF after their address resolves.
@@ -404,60 +551,57 @@ def _memory_complete(
             )
         return complete
 
-    if route == "sc":
-        outcome = stack_cache.access(record.addr, record.size, record.is_store)
+    if route == _R_SC:
+        outcome = stack_cache.access(addr, size, bool(is_store))
         if outcome.hit:
             access_latency = dl1_latency
         else:
-            access_latency = l2.access(record.addr, is_write=record.is_store)
+            access_latency = l2.access(addr, is_write=bool(is_store))
         return _lsq_complete(
-            record,
+            is_store,
             index,
             qw,
             issue_cycle,
             access_latency,
             stats,
-            config,
             last_store,
             forward_latency,
         )
 
     # Default DL1 path.
-    if record.is_store:
+    if is_store:
         access_latency = 1
-        dl1.access(record.addr, is_write=True)
+        dl1.access(addr, is_write=True)
     else:
         forwarded = last_store.get(qw)
         if forwarded is not None and forwarded[1] > issue_cycle:
             stats.store_forwards += 1
             return max(issue_cycle, forwarded[1]) + forward_latency
-        access_latency = dl1.access(record.addr)
+        access_latency = dl1.access(addr)
     return _lsq_complete(
-        record,
+        is_store,
         index,
         qw,
         issue_cycle,
         access_latency,
         stats,
-        config,
         last_store,
         forward_latency,
     )
 
 
 def _lsq_complete(
-    record,
+    is_store,
     index,
     qw,
     issue_cycle,
     access_latency,
     stats,
-    config,
     last_store,
     forward_latency,
 ):
     """Store-forwarding-aware completion for LSQ-mediated references."""
-    if record.is_store:
+    if is_store:
         complete = issue_cycle + 1
         last_store[qw] = (index, complete)
         return complete

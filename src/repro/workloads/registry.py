@@ -11,11 +11,14 @@ slot traffic, address-taken escapes), which compiled MiniC reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import profiling
 from repro.emulator.machine import Machine
 from repro.errors import UsageError
 from repro.lang.codegen import CodegenOptions, compile_program
+from repro.trace.columnar import ColumnarTrace
 from repro.workloads import (
     bzip2,
     crafty,
@@ -55,7 +58,13 @@ class Workload:
         return self.make_source(**merged)
 
     def program(self, options: Optional[CodegenOptions] = None, **overrides):
-        return compile_program(self.source(**overrides), options)
+        profiler = profiling.active()
+        if profiler is None:
+            return compile_program(self.source(**overrides), options)
+        started = perf_counter()
+        program = compile_program(self.source(**overrides), options)
+        profiler.note("compile", perf_counter() - started, len(program))
+        return program
 
     def run(
         self,
@@ -74,9 +83,9 @@ class Workload:
         max_instructions: Optional[int] = None,
         options: Optional[CodegenOptions] = None,
         **overrides,
-    ) -> list:
-        """Compile, execute, and return the full trace."""
-        trace: list = []
+    ) -> ColumnarTrace:
+        """Compile, execute, and return the full trace (columnar)."""
+        trace = ColumnarTrace()
         self.run(
             max_instructions=max_instructions,
             trace_sink=trace,

@@ -203,6 +203,71 @@ class TestReport:
             assert marker in text, marker
         assert "wrote" in capsys.readouterr().out
 
+    def test_profile_flag_prints_breakdown_not_in_document(
+        self, tmp_path, capsys
+    ):
+        output = str(tmp_path / "report.md")
+        # Own cache dir: cells must actually run (a warm cache hit
+        # ships no phase snapshot, correctly leaving only "render").
+        assert main(
+            ["report", "--output", output,
+             "--timing-window", "3000", "--functional-window", "3000",
+             "--benchmarks", "mcf", "--profile",
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Phase profile — full report" in out
+        for phase in ("compile", "emulate", "timing", "traffic", "render"):
+            assert phase in out, phase
+        # The breakdown goes to stdout only: the document stays
+        # byte-comparable with and without --profile.
+        assert "Phase profile" not in open(output).read()
+
+
+class TestProfile:
+    def test_profiles_one_workload(self, capsys):
+        assert main(["profile", "gzip", "--max-instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip.graphic: 3,000 instructions traced" in out
+        assert "Phase profile — gzip.graphic" in out
+        for phase in ("compile", "emulate", "timing", "traffic"):
+            assert phase in out, phase
+        assert "MIPS" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["profile", "doom"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ") and "unknown benchmark" in err
+
+
+class TestPredict:
+    def test_prediction_report(self, capsys):
+        code = main(["predict", "--benchmarks", "gzip",
+                     "--max-instructions", "4000", "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert code == 0, captured.out
+        assert "predicted" in captured.out
+        # Progress goes to stderr, never stdout.
+        assert "[predict]" in captured.err
+        assert "[predict]" not in captured.out
+
+    def test_output_file(self, tmp_path, capsys):
+        output = str(tmp_path / "predict.md")
+        assert main(["predict", "--benchmarks", "mcf",
+                     "--max-instructions", "4000", "--jobs", "1",
+                     "--output", output]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "predicted" in open(output).read()
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["predict", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ") and "--jobs" in err
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["predict", "--benchmarks", "doom"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_static_tables(self, capsys):

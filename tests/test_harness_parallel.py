@@ -111,7 +111,7 @@ class TestTraceCache:
         cache = TraceCache(str(tmp_path))
         assert cache.root == tmp_path / f"v{SCHEMA_VERSION}"
         path = cache.path_for(self.KEY)
-        assert path.name == "164.gzip.graphic.O0.w1500.trace.pkl"
+        assert path.name == "164.gzip.graphic.O0.w1500.trace.bin"
 
     def test_cell_payload_round_trip(self, tmp_path):
         from repro.harness.parallel import _MISS

@@ -1,0 +1,53 @@
+"""Budgeted performance smoke for the columnar hot loops.
+
+Not a benchmark — a regression tripwire.  The budgets are ~10× the
+wall times measured on the slowest supported host (one CPU core, no
+turbo), so they only fire when a hot loop falls off the packed path
+entirely (e.g. someone reintroduces per-record object construction in
+``Machine.run`` or the timing consume loop).  Real measurements live
+in ``benchmarks/measure_core.py`` / ``benchmarks/results/``.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.profiling import profiled
+from repro.uarch.config import table2_config
+from repro.uarch.pipeline import simulate
+from repro.workloads import workload
+
+#: generous wall-clock ceilings (seconds); measured cold ~0.2s total.
+EMULATE_BUDGET = 3.0
+TIMING_BUDGET = 6.0
+END_TO_END_BUDGET = 10.0
+WINDOW = 40_000
+
+
+@pytest.mark.perf
+def test_cold_single_workload_end_to_end_budget():
+    with profiled() as profiler:
+        started = perf_counter()
+        work = workload("gzip")
+        trace = work.trace(max_instructions=WINDOW)
+        base = table2_config(16)
+        baseline = simulate(trace, base)
+        svf = simulate(trace, base.with_svf(mode="svf", ports=2))
+        elapsed = perf_counter() - started
+    assert len(trace) == WINDOW
+    assert svf.speedup_over(baseline) > 0
+    assert elapsed < END_TO_END_BUDGET, profiler.render()
+    phases = profiler.phases
+    assert phases["emulate"].seconds < EMULATE_BUDGET, profiler.render()
+    assert phases["timing"].seconds < TIMING_BUDGET, profiler.render()
+
+
+@pytest.mark.perf
+def test_emulator_throughput_floor():
+    # The packed emit path sustains well over 1 MIPS on any host this
+    # repo supports; the floor is set 10× below the measured rate.
+    with profiled() as profiler:
+        workload("crafty").trace(max_instructions=WINDOW)
+    stat = profiler.phases["emulate"]
+    assert stat.items == WINDOW
+    assert stat.mips > 0.1, profiler.render()

@@ -55,7 +55,7 @@ def test_parallel_report_smoke(tmp_path):
     assert "degraded" not in text
     # The cache was populated by the workers.
     cache_root = tmp_path / "cache"
-    assert any(cache_root.rglob("*.trace.pkl"))
+    assert any(cache_root.rglob("*.trace.bin"))
 
 
 @pytest.mark.smoke

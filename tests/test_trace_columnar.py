@@ -1,0 +1,194 @@
+"""Differential gate for the columnar trace IR.
+
+The columnar fast path in ``Machine.run`` packs retired instructions
+straight into :class:`ColumnarTrace` columns, bypassing
+``TraceRecord`` construction entirely.  These tests prove the two
+paths are observationally identical: every registry workload and a
+corpus of hypothesis-fuzzed programs run twice — once into a plain
+``list`` sink (the legacy record-object path) and once into a
+``ColumnarTrace`` sink (the packed path) — and every field of every
+record must match, position by position.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator import Machine
+from repro.isa import assemble
+from repro.trace.columnar import ColumnarTrace, record_fields
+from repro.trace.records import TraceRecord
+from repro.workloads import ALL_BENCHMARKS, workload
+
+#: registers the fuzz uses (caller-saved temps, away from $sp/$ra)
+REGS = ["r1", "r2", "r3", "r4", "r5"]
+
+ALU_OPS = ["addq", "subq", "mulq", "and", "or", "xor",
+           "sll", "srl", "cmpeq", "cmplt"]
+
+
+def assert_traces_identical(columnar, legacy):
+    """Field-by-field comparison of a columnar trace vs a record list."""
+    assert isinstance(columnar, ColumnarTrace)
+    assert all(isinstance(r, TraceRecord) for r in legacy)
+    assert len(columnar) == len(legacy)
+    for got, want in zip(columnar, legacy):
+        assert record_fields(got) == record_fields(want)
+        # op_class must be the shared singleton, not a reconstruction.
+        assert got.op_class is want.op_class
+
+
+def run_both_ways(program, max_instructions=None):
+    legacy = []
+    Machine(program).run(
+        max_instructions=max_instructions, trace_sink=legacy
+    )
+    columnar = ColumnarTrace()
+    Machine(program).run(
+        max_instructions=max_instructions, trace_sink=columnar
+    )
+    return columnar, legacy
+
+
+class TestWorkloadDifferential:
+    """The gate the issue demands: columnar == legacy on every workload."""
+
+    # (param is named ``bench``: pytest-benchmark owns ``benchmark``.)
+    @pytest.mark.parametrize("bench", ALL_BENCHMARKS)
+    def test_columnar_matches_legacy(self, bench):
+        program = workload(bench).program()
+        columnar, legacy = run_both_ways(program, max_instructions=2_000)
+        assert len(legacy) > 0
+        assert_traces_identical(columnar, legacy)
+
+    def test_full_run_including_halt(self):
+        # No window: the trace covers the halt path too.
+        program = workload("mcf").program()
+        columnar, legacy = run_both_ways(program)
+        assert_traces_identical(columnar, legacy)
+
+
+# --- fuzzed programs: ALU ops, stack memory traffic, $sp updates, ----
+# --- and forward conditional branches (always terminating). ----------
+
+_alu = st.one_of(
+    st.tuples(st.just("alu"), st.sampled_from(ALU_OPS),
+              st.sampled_from(REGS), st.sampled_from(REGS),
+              st.sampled_from(REGS)),
+    st.tuples(st.just("alui"), st.sampled_from(ALU_OPS),
+              st.sampled_from(REGS), st.integers(-200, 200),
+              st.sampled_from(REGS)),
+)
+_memory = st.one_of(
+    st.tuples(st.just("store"), st.sampled_from(REGS),
+              st.integers(0, 15)),
+    st.tuples(st.just("load"), st.sampled_from(REGS),
+              st.integers(0, 15)),
+)
+_branch = st.tuples(st.just("branch"), st.sampled_from(["beq", "bne"]),
+                    st.sampled_from(REGS))
+_sp_adjust = st.tuples(st.just("sp"), st.sampled_from([-32, -16, 16, 32]))
+
+_step = st.one_of(_alu, _memory, _branch, _sp_adjust)
+
+
+def _fuzz_source(steps):
+    # Reserve a frame so loads/stores and $sp wiggles stay in bounds.
+    lines = ["main:", "    lda sp, -512(sp)"]
+    for i, item in enumerate(steps):
+        kind = item[0]
+        if kind == "alu":
+            _, op, ra, rb, rd = item
+            lines.append(f"    {op} {ra}, {rb}, {rd}")
+        elif kind == "alui":
+            _, op, ra, imm, rd = item
+            lines.append(f"    {op} {ra}, {imm}, {rd}")
+        elif kind == "store":
+            _, reg, slot = item
+            lines.append(f"    stq {reg}, {8 * slot}(sp)")
+        elif kind == "load":
+            _, reg, slot = item
+            lines.append(f"    ldq {reg}, {8 * slot}(sp)")
+        elif kind == "branch":
+            # Forward branch over one filler instruction: exercises
+            # taken and not-taken conditional records, terminates.
+            _, op, reg = item
+            lines.append(f"    {op} {reg}, skip_{i}")
+            lines.append("    addq r1, 1, r1")
+            lines.append(f"skip_{i}:")
+        else:  # sp wiggle inside the reserved frame
+            _, imm = item
+            lines.append(f"    lda sp, {imm}(sp)")
+            lines.append(f"    lda sp, {-imm}(sp)")
+    lines.append("    lda sp, 512(sp)")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+class TestFuzzedDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_step, min_size=1, max_size=30))
+    def test_columnar_matches_legacy(self, steps):
+        program = assemble(_fuzz_source(steps))
+        columnar, legacy = run_both_ways(program)
+        assert len(legacy) > 0
+        assert_traces_identical(columnar, legacy)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_step, min_size=5, max_size=30),
+           st.integers(1, 20))
+    def test_truncated_window_matches(self, steps, window):
+        program = assemble(_fuzz_source(steps))
+        columnar, legacy = run_both_ways(program, max_instructions=window)
+        assert_traces_identical(columnar, legacy)
+
+
+class TestColumnarContainer:
+    """Sequence/sink protocol details legacy consumers rely on."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return workload("gzip").trace(max_instructions=1_000)
+
+    def test_len_iter_getitem_agree(self, trace):
+        assert len(trace) == 1_000
+        records = list(trace)
+        assert len(records) == 1_000
+        assert record_fields(trace[0]) == record_fields(records[0])
+        assert record_fields(trace[-1]) == record_fields(records[-1])
+
+    def test_getitem_out_of_range(self, trace):
+        with pytest.raises(IndexError):
+            trace[1_000]
+        with pytest.raises(IndexError):
+            trace[-1_001]
+
+    def test_slice_returns_columnar(self, trace):
+        head = trace[:100]
+        assert isinstance(head, ColumnarTrace)
+        assert len(head) == 100
+        for i in range(100):
+            assert record_fields(head[i]) == record_fields(trace[i])
+
+    def test_record_index_is_position(self, trace):
+        # Slices re-index from zero: index is positional, not global.
+        tail = trace[900:]
+        assert tail[0].index == 0
+        assert trace[900].index == 900
+        assert record_fields(tail[0])[1:] == record_fields(trace[900])[1:]
+
+    def test_from_records_passthrough_and_pack(self, trace):
+        assert ColumnarTrace.from_records(trace) is trace
+        packed = ColumnarTrace.from_records(list(trace))
+        assert packed == trace
+
+    def test_eq_against_record_list(self, trace):
+        records = list(trace)
+        assert trace == records
+        records[3] = records[4]
+        assert not (trace[:10] == records[:10])
+
+    def test_empty_trace(self):
+        empty = ColumnarTrace()
+        assert len(empty) == 0
+        assert list(empty) == []
+        assert empty == []

@@ -47,10 +47,10 @@ class TestRoundTrip:
     def test_streaming_writer_matches_batch(self, gzip_trace, tmp_path):
         streamed = tmp_path / "streamed.svft"
         with open(streamed, "wb") as stream:
-            writer = TraceWriter(stream)
-            for record in gzip_trace[:500]:
-                writer.append(record)
-            assert writer.count == 500
+            with TraceWriter(stream) as writer:
+                for record in gzip_trace[:500]:
+                    writer.append(record)
+                assert writer.count == 500
         batch = tmp_path / "batch.svft"
         save_trace(gzip_trace[:500], str(batch))
         assert streamed.read_bytes() == batch.read_bytes()
@@ -62,6 +62,7 @@ class TestRoundTrip:
         with open(path, "wb") as stream:
             writer = TraceWriter(stream)
             workload("gzip").run(max_instructions=2_000, trace_sink=writer)
+            assert writer.close() == 2_000
         restored = load_trace(str(path))
         assert len(restored) == 2_000
 
