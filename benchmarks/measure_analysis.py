@@ -1,0 +1,157 @@
+"""Measure the batched characterization pass against the append path.
+
+Regenerates ``benchmarks/results/analysis_speedup.txt``::
+
+    PYTHONPATH=src python benchmarks/measure_analysis.py \
+        [--window 80000] [--repeats 3]
+
+For each reference workload the script traces once (emulation is not
+part of the measurement), then times the full cold characterization —
+the four Fig 1-3 analyses plus the Table 3 traffic consumer — three
+ways over the same packed trace:
+
+* ``append``: the record-at-a-time reference sink protocol, one
+  :class:`TraceRecord` materialized per instruction;
+* ``python``: the batched ``consume_columns`` walk over flat columns
+  with the numpy backend disabled (the path every host exercises);
+* ``numpy``: the vectorized backend (skipped when numpy is absent).
+
+Best of ``--repeats`` runs each.  The acceptance bar for the columnar
+analysis PR is >= 3x for the pure-python batched path; the artifact
+records the actual ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.traffic import TrafficSimulator, simulate_traffic
+from repro.emulator.memory import STACK_BASE
+from repro.trace.analysis import (
+    AccessDistribution,
+    OffsetLocality,
+    StackDepthProfile,
+    consume_trace,
+)
+from repro.trace.columnar import numpy_available, set_numpy_enabled
+from repro.trace.first_touch import FirstTouchProfile
+from repro.workloads import workload
+
+RESULTS = Path(__file__).parent / "results" / "analysis_speedup.txt"
+
+WORKLOADS = ("gzip", "crafty")
+
+
+def _sinks():
+    return (
+        AccessDistribution(),
+        StackDepthProfile(stack_base=STACK_BASE),
+        OffsetLocality(),
+        FirstTouchProfile(),
+    )
+
+
+def run_append(trace) -> None:
+    sinks = _sinks()
+    traffic = TrafficSimulator()
+    for record in trace.records():
+        for sink in sinks:
+            sink.append(record)
+        traffic.append(record)
+    traffic.result()
+
+
+def run_batched(trace, numpy_on: bool) -> None:
+    previous = set_numpy_enabled(numpy_on)
+    try:
+        consume_trace(trace, _sinks())
+        simulate_traffic(trace)
+    finally:
+        set_numpy_enabled(previous)
+
+
+def best_seconds(fn, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        started = perf_counter()
+        fn()
+        elapsed = perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main() -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--window", type=int, default=80_000)
+    cli.add_argument("--repeats", type=int, default=3)
+    args = cli.parse_args()
+
+    lines = [
+        "Batched analysis speedup: cold Fig 1-3 + Table 3 characterization",
+        "=" * 65,
+        "",
+        f"Per workload, over one {args.window:,}-instruction packed trace:",
+        "AccessDistribution + StackDepthProfile + OffsetLocality +",
+        "FirstTouchProfile + TrafficSimulator, consumed three ways.",
+        f"Best of {args.repeats} runs; tracing itself is excluded.",
+        "Baseline = the record-at-a-time append sink protocol.",
+        "",
+    ]
+    worst_python = None
+    worst_numpy = None
+    for name in WORKLOADS:
+        trace = workload(name).trace(max_instructions=args.window)
+        append = best_seconds(lambda: run_append(trace), args.repeats)
+        python = best_seconds(
+            lambda: run_batched(trace, numpy_on=False), args.repeats
+        )
+        rows = [("append", append, None), ("python", python, append / python)]
+        worst_python = (
+            append / python
+            if worst_python is None
+            else min(worst_python, append / python)
+        )
+        if numpy_available():
+            vectorized = best_seconds(
+                lambda: run_batched(trace, numpy_on=True), args.repeats
+            )
+            rows.append(("numpy", vectorized, append / vectorized))
+            worst_numpy = (
+                append / vectorized
+                if worst_numpy is None
+                else min(worst_numpy, append / vectorized)
+            )
+        lines.append(f"{name} ({args.window:,} instructions)")
+        lines.append(f"  {'path':8s} {'seconds':>9s} {'speedup':>9s}")
+        for label, seconds, ratio in rows:
+            speedup = "-" if ratio is None else f"{ratio:.2f}x"
+            lines.append(f"  {label:8s} {seconds:8.3f}s {speedup:>9s}")
+        lines.append("")
+    lines.append(
+        f"Worst-case pure-python speedup: {worst_python:.2f}x "
+        f"(acceptance bar: >= 3x)"
+    )
+    if worst_numpy is not None:
+        lines.append(f"Worst-case numpy speedup: {worst_numpy:.2f}x")
+    else:
+        lines.append("numpy backend not installed; vectorized leg skipped.")
+    lines.append("")
+    lines.append(
+        "Regenerate: PYTHONPATH=src python benchmarks/measure_analysis.py"
+    )
+    lines.append(
+        "Measured %s."
+        % time.strftime("%Y-%m-%d %H:%M:%S %Z", time.localtime())
+    )
+    text = "\n".join(lines) + "\n"
+    RESULTS.write_text(text)
+    print(text)
+    print(f"wrote {RESULTS}")
+    return 0 if worst_python >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -179,6 +179,12 @@ class ReportOptions:
     byte-identical for every value.  ``use_cache`` gates the shared
     on-disk trace cache — ``cache_dir=None`` with ``use_cache=True``
     resolves to the default per-user cache directory.
+
+    ``incremental`` re-renders only report sections whose content keys
+    (workload sources × compile options × machine specs × analysis
+    version × window) changed since the cached run; it needs the disk
+    cache, so it is ignored when ``use_cache`` is off.  The document
+    stays byte-identical to a full run.
     """
 
     timing_window: int = 40_000
@@ -188,6 +194,7 @@ class ReportOptions:
     cache_dir: Optional[str] = None
     use_cache: bool = True
     task_timeout: float = 600.0
+    incremental: bool = False
 
     def __post_init__(self):
         if self.benchmarks is not None and not isinstance(
@@ -237,6 +244,7 @@ def generate_report(
         cache_dir=options.resolved_cache_dir(),
         task_timeout=options.task_timeout,
         profiler=profiler,
+        incremental=options.incremental,
     )
 
 

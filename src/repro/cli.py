@@ -21,10 +21,14 @@ Commands:
     markdown report; ``--jobs`` picks the worker count (default: CPU
     count) and the output is byte-identical for every value.
     ``--profile`` additionally prints the sweep's per-phase wall-time
-    breakdown (compile/emulate/timing/traffic/render) to stdout.
+    breakdown (compile/emulate/timing/traffic/analysis/render) and the
+    cache hit/miss counters to stdout.  ``--incremental`` re-renders
+    only sections whose content keys changed, reusing cached section
+    payloads for the rest (same bytes either way).
 ``profile <workload> [--max-instructions N]``
-    run one workload end to end (compile, emulate, time, traffic)
-    under the phase profiler and print the per-phase breakdown.
+    run one workload end to end (compile, emulate, time, traffic,
+    characterization analyses) under the phase profiler and print the
+    per-phase breakdown.
 ``predict [--jobs N] [--benchmarks ...]``
     cross-check the static SVF-traffic bounds against full dynamic
     runs over the parallel engine; exits nonzero on a bound violation.
@@ -171,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--profile", action="store_true",
         help="print the per-phase wall-time breakdown after the report",
+    )
+    report_parser.add_argument(
+        "--incremental", action="store_true",
+        help="re-render only sections whose cached content keys changed",
     )
 
     profile_parser = commands.add_parser(
@@ -389,6 +397,7 @@ def cmd_report(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        incremental=args.incremental,
     )
     profiler = PhaseProfiler() if args.profile else None
     text = api.generate_report(
@@ -407,7 +416,15 @@ def cmd_report(args) -> int:
 
 def cmd_profile(args) -> int:
     from repro.core.traffic import simulate_traffic
+    from repro.emulator.memory import STACK_BASE
     from repro.profiling import profiled
+    from repro.trace.analysis import (
+        AccessDistribution,
+        OffsetLocality,
+        StackDepthProfile,
+        consume_trace,
+    )
+    from repro.trace.first_touch import FirstTouchProfile
     from repro.uarch.config import table2_config
     from repro.uarch.pipeline import simulate as run_timing
 
@@ -425,6 +442,17 @@ def cmd_profile(args) -> int:
         baseline = run_timing(trace, base)
         svf = run_timing(trace, base.with_svf(mode="svf", ports=2))
         simulate_traffic(trace)
+        # The Figure 1-3 characterization pass, so "analysis" shows up
+        # as its own phase instead of folding into "traffic".
+        consume_trace(
+            trace,
+            (
+                AccessDistribution(),
+                StackDepthProfile(stack_base=STACK_BASE),
+                OffsetLocality(),
+                FirstTouchProfile(),
+            ),
+        )
     speedup = svf.speedup_over(baseline)
     print(f"{work.full_name}: {len(trace):,} instructions traced; "
           f"svf speedup {(speedup - 1) * 100:+.1f}% "

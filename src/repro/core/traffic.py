@@ -104,13 +104,19 @@ class TrafficSimulator:
                 self.stack_cache.context_switch()
             )
 
-    def consume_columns(self, trace: ColumnarTrace) -> None:
-        """Drain a whole columnar trace (same semantics as ``append``).
+    def consume_columns(
+        self, trace: ColumnarTrace, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Drain ``trace[lo:hi)`` (same semantics as ``append``).
 
         Reads the flag/address columns by index instead of
         materializing records; the model-call sequence is identical to
-        feeding the records one by one.
+        feeding the records one by one.  When the numpy backend is on,
+        the candidate indices (stack references, ``$sp`` updates and
+        context-switch points) are found with one vectorized scan and
+        only those instructions are visited.
         """
+        hi = len(trace) if hi is None else hi
         col_flags = trace.flags
         col_addr = trace.addr
         col_size = trace.size
@@ -123,10 +129,46 @@ class TrafficSimulator:
         period = self.context_switch_period
         instructions = self._instructions
         stack_references = self._stack_references
-        if not self._sp_seen and len(col_flags):
-            update_sp(col_sp[0])
+        if not self._sp_seen and hi > lo:
+            update_sp(col_sp[lo])
             self._sp_seen = True
-        for index in range(len(col_flags)):
+        arrays = trace.as_arrays()
+        if arrays is not None:
+            import numpy as np
+
+            flags_view = arrays.flags[lo:hi]
+            addr_view = arrays.addr[lo:hi]
+            interesting = (
+                ((flags_view & 3) != 0) & (addr_view >= stack_floor)
+            ) | ((flags_view & 32) != 0)
+            candidates = np.nonzero(interesting)[0]
+            if period:
+                first_switch = period - (instructions % period) - 1
+                switch_points = np.arange(first_switch, hi - lo, period)
+                candidates = np.union1d(candidates, switch_points)
+            for relative in candidates.tolist():
+                index = relative + lo
+                flags = col_flags[index]
+                if flags & 3:
+                    addr = col_addr[index]
+                    if addr >= stack_floor:
+                        stack_references += 1
+                        is_store = bool(flags & 2)
+                        size = col_size[index]
+                        svf_access(addr, size, is_store)
+                        sc_access(addr, size, is_store)
+                if flags & 32:
+                    update_sp(col_sp[index])
+                if period and (instructions + relative + 1) % period == 0:
+                    self._switches += 1
+                    self._svf_switch_bytes += svf.context_switch()
+                    self._stack_cache_switch_bytes += (
+                        self.stack_cache.context_switch()
+                    )
+            self._instructions = instructions + (hi - lo)
+            self._stack_references = stack_references
+            return
+        for index in range(lo, hi):
             instructions += 1
             flags = col_flags[index]
             if flags & 3:  # load or store
@@ -180,11 +222,10 @@ def simulate_traffic(
         line_size=line_size,
         context_switch_period=context_switch_period,
     )
-    if isinstance(trace, ColumnarTrace):
-        simulator.consume_columns(trace)
-    else:
-        for record in trace:
-            simulator.append(record)
+    # Pack plain record sequences into columns so one batched consumer
+    # covers every caller (the pack cost is paid once per trace and the
+    # column walk more than recovers it).
+    simulator.consume_columns(ColumnarTrace.from_records(trace))
     result = simulator.result()
     if profiler is not None:
         profiler.note(

@@ -19,9 +19,9 @@ from repro.emulator.memory import STACK_BASE
 from repro.harness.report import percent, render_series, render_table
 from repro.trace.analysis import (
     AccessDistribution,
-    MultiSink,
     OffsetLocality,
     StackDepthProfile,
+    consume_trace,
 )
 from repro.trace.first_touch import FirstTouchProfile
 from repro.trace.regions import AccessMethod
@@ -218,9 +218,10 @@ def characterize(
         depth = StackDepthProfile(stack_base=STACK_BASE)
         locality = OffsetLocality()
         first_touch = FirstTouchProfile()
-        sink = MultiSink(distribution, depth, locality, first_touch)
-        for record in _trace_for(name, max_instructions):
-            sink.append(record)
+        consume_trace(
+            _trace_for(name, max_instructions),
+            (distribution, depth, locality, first_touch),
+        )
         result.distributions[name] = distribution
         result.depth_profiles[name] = depth
         result.localities[name] = locality
@@ -692,34 +693,19 @@ def _config_error(figure: str, config: str, known: Sequence[str]) -> ValueError:
     )
 
 
-def fig5_config_speedup(
-    benchmark: str,
-    config: str,
-    max_instructions: int = DEFAULT_TIMING_WINDOW,
-) -> float:
-    """One column of Figure 5 for one benchmark."""
-    name = _suite([benchmark])[0]
+def fig5_machine_pair(config: str):
+    """(baseline, variant) machine configs of one Figure 5 column."""
     if config == "16-wide gshare":
         base = table2_config(16, branch_predictor="gshare")
     elif config in ("4-wide", "8-wide", "16-wide"):
         base = table2_config(int(config.split("-", 1)[0]))
     else:
         raise _config_error("Figure 5", config, FIG5_CONFIGS)
-    trace = _trace_for(name, max_instructions)
-    baseline = _memo_simulate(name, max_instructions, trace, base)
-    ideal = _memo_simulate(
-        name, max_instructions, trace, base.with_svf(mode="ideal")
-    )
-    return ideal.speedup_over(baseline)
+    return base, base.with_svf(mode="ideal")
 
 
-def fig6_config_speedup(
-    benchmark: str,
-    config: str,
-    max_instructions: int = DEFAULT_TIMING_WINDOW,
-) -> float:
-    """One column of Figure 6 for one benchmark."""
-    name = _suite([benchmark])[0]
+def fig6_machine_pair(config: str):
+    """(baseline, variant) machine configs of one Figure 6 column."""
     base = table2_config(16)
     if config == "L1_2x":
         variant = _dl1_doubled(base)
@@ -729,21 +715,11 @@ def fig6_config_speedup(
         variant = base.with_svf(mode="svf", ports=int(config[4:-1]))
     else:
         raise _config_error("Figure 6", config, FIG6_STEPS)
-    trace = _trace_for(name, max_instructions)
-    baseline = _memo_simulate(name, max_instructions, trace, base)
-    run = _memo_simulate(name, max_instructions, trace, variant)
-    return run.speedup_over(baseline)
+    return base, variant
 
 
-def fig7_config_result(
-    benchmark: str,
-    config: str,
-    max_instructions: int = DEFAULT_TIMING_WINDOW,
-    capacity_bytes: int = 8192,
-) -> Tuple[float, Optional[SimStats]]:
-    """One column of Figure 7; the "(2+2)svf" column also returns the
-    run's :class:`SimStats` (the Figure 8 reference breakdown)."""
-    name = _suite([benchmark])[0]
+def fig7_machine_pair(config: str, capacity_bytes: int = 8192):
+    """(baseline, variant) machine configs of one Figure 7 column."""
     base = table2_config(16, dl1_ports=2)
     if config == "(4+0)":
         variant = _fig7_four_port()
@@ -762,6 +738,59 @@ def fig7_config_result(
         )
     else:
         raise _config_error("Figure 7", config, FIG7_CONFIGS)
+    return base, variant
+
+
+def fig9_machine_pair(config: str, capacity_bytes: int = 8192):
+    """(baseline, variant) machine configs of one Figure 9 column."""
+    if config not in FIG9_CONFIGS:
+        raise _config_error("Figure 9", config, FIG9_CONFIGS)
+    regular_ports, svf_ports = int(config[1]), int(config[3])
+    base = table2_config(16, dl1_ports=regular_ports)
+    variant = base.with_svf(
+        mode="svf", ports=svf_ports, capacity_bytes=capacity_bytes
+    )
+    return base, variant
+
+
+def fig5_config_speedup(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+) -> float:
+    """One column of Figure 5 for one benchmark."""
+    name = _suite([benchmark])[0]
+    base, ideal_config = fig5_machine_pair(config)
+    trace = _trace_for(name, max_instructions)
+    baseline = _memo_simulate(name, max_instructions, trace, base)
+    ideal = _memo_simulate(name, max_instructions, trace, ideal_config)
+    return ideal.speedup_over(baseline)
+
+
+def fig6_config_speedup(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+) -> float:
+    """One column of Figure 6 for one benchmark."""
+    name = _suite([benchmark])[0]
+    base, variant = fig6_machine_pair(config)
+    trace = _trace_for(name, max_instructions)
+    baseline = _memo_simulate(name, max_instructions, trace, base)
+    run = _memo_simulate(name, max_instructions, trace, variant)
+    return run.speedup_over(baseline)
+
+
+def fig7_config_result(
+    benchmark: str,
+    config: str,
+    max_instructions: int = DEFAULT_TIMING_WINDOW,
+    capacity_bytes: int = 8192,
+) -> Tuple[float, Optional[SimStats]]:
+    """One column of Figure 7; the "(2+2)svf" column also returns the
+    run's :class:`SimStats` (the Figure 8 reference breakdown)."""
+    name = _suite([benchmark])[0]
+    base, variant = fig7_machine_pair(config, capacity_bytes)
     trace = _trace_for(name, max_instructions)
     baseline = _memo_simulate(name, max_instructions, trace, base)
     run = _memo_simulate(name, max_instructions, trace, variant)
@@ -776,19 +805,9 @@ def fig9_config_speedup(
     capacity_bytes: int = 8192,
 ) -> float:
     """One column of Figure 9 for one benchmark."""
-    if config not in FIG9_CONFIGS:
-        raise _config_error("Figure 9", config, FIG9_CONFIGS)
     name = _suite([benchmark])[0]
-    regular_ports, svf_ports = int(config[1]), int(config[3])
-    base = table2_config(16, dl1_ports=regular_ports)
+    base, variant = fig9_machine_pair(config, capacity_bytes)
     trace = _trace_for(name, max_instructions)
     baseline = _memo_simulate(name, max_instructions, trace, base)
-    run = _memo_simulate(
-        name,
-        max_instructions,
-        trace,
-        base.with_svf(
-            mode="svf", ports=svf_ports, capacity_bytes=capacity_bytes
-        ),
-    )
+    run = _memo_simulate(name, max_instructions, trace, variant)
     return run.speedup_over(baseline)

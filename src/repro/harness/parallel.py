@@ -67,9 +67,23 @@ def default_cache_dir() -> str:
 
 @dataclass
 class CacheStats:
+    """Per-namespace cache traffic.
+
+    ``hits``/``misses``/``stores`` count functional-trace operations
+    (the historical meaning); cell payloads and report sections have
+    their own counters so ``--profile`` can attribute a warm run to
+    the level that actually absorbed it.
+    """
+
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    cell_hits: int = 0
+    cell_misses: int = 0
+    cell_stores: int = 0
+    section_hits: int = 0
+    section_misses: int = 0
+    section_stores: int = 0
 
 
 #: distinguishes "entry absent" from a legitimately-None payload.
@@ -85,7 +99,12 @@ class TraceCache:
       replays the same trace, and loaded straight into the packed
       columns the hot loops consume (no per-record unpickling);
     * finished cell payloads (pickled) under ``cells/`` — a warm
-      report skips the timing model entirely, not just emulation.
+      report skips the timing model entirely, not just emulation;
+    * rendered report sections (pickled) under ``sections/``, keyed by
+      a content digest of everything that feeds the section (see
+      :func:`repro.harness.runall.section_content_key`) — the
+      ``--incremental`` report mode reuses these without touching the
+      cells at all.
 
     Writes are atomic (temp file + ``os.replace``) so concurrent
     workers can race on the same key safely — worst case both compute
@@ -104,6 +123,7 @@ class TraceCache:
         self.root = Path(root) / f"v{SCHEMA_VERSION}"
         self.root.mkdir(parents=True, exist_ok=True)
         self.cells_root = self.root / "cells"
+        self.sections_root = self.root / "sections"
         self.stats = CacheStats()
 
     def path_for(self, key) -> Path:
@@ -119,24 +139,24 @@ class TraceCache:
         parts += [f"{name}-{value}" for name, value in cell.params]
         return self.cells_root / (".".join(parts) + ".cell.pkl")
 
-    def _read(self, path: Path) -> Any:
+    def _read(self, path: Path, kind: str) -> Any:
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._bump(kind, "misses")
             return _MISS
         except Exception:
             try:
                 path.unlink()
             except OSError:
                 pass
-            self.stats.misses += 1
+            self._bump(kind, "misses")
             return _MISS
-        self.stats.hits += 1
+        self._bump(kind, "hits")
         return value
 
-    def _write(self, path: Path, value: Any) -> None:
+    def _write(self, path: Path, value: Any, kind: str) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_path = tempfile.mkstemp(
             dir=str(path.parent), suffix=".tmp"
@@ -151,7 +171,14 @@ class TraceCache:
             except OSError:
                 pass
             return
-        self.stats.stores += 1
+        self._bump(kind, "stores")
+
+    def _bump(self, kind: str, event: str) -> None:
+        setattr(
+            self.stats,
+            f"{kind}_{event}",
+            getattr(self.stats, f"{kind}_{event}") + 1,
+        )
 
     def load(self, key):
         """Columnar trace for ``key``, or None on miss/corruption."""
@@ -192,10 +219,26 @@ class TraceCache:
 
     def load_cell(self, cell: "TaskCell") -> Any:
         """Finished payload for ``cell``, or the ``_MISS`` sentinel."""
-        return self._read(self.cell_path_for(cell))
+        return self._read(self.cell_path_for(cell), "cell")
 
     def store_cell(self, cell: "TaskCell", payload: Any) -> None:
-        self._write(self.cell_path_for(cell), payload)
+        self._write(self.cell_path_for(cell), payload, "cell")
+
+    def section_path_for(self, section: str, key: str) -> Path:
+        return self.sections_root / f"{section}.{key}.section.pkl"
+
+    def load_section(self, section: str, key: str) -> Any:
+        """Rendered payload for a section content key, or ``_MISS``.
+
+        The content key bakes in every input of the section (workload
+        sources, compile options, machine specs, windows, analysis
+        version), so a stale entry is simply never addressed — there
+        is no in-place invalidation to get wrong.
+        """
+        return self._read(self.section_path_for(section, key), "section")
+
+    def store_section(self, section: str, key: str, payload: Any) -> None:
+        self._write(self.section_path_for(section, key), payload, "section")
 
 
 # ---------------------------------------------------------------------------
@@ -368,7 +411,8 @@ def _execute_cell(
     Each cell runs under its own phase profiler (saved/restored, so
     inline runs nest inside any caller-scoped profiler) and ships the
     picklable snapshot back as the fourth tuple element; a cache hit
-    returns an empty snapshot, since no phase ran.
+    ships no phases (none ran), only the hit counter, so warm-run
+    breakdowns explain themselves without inventing wall time.
     """
     started = time.perf_counter()
     profiler = profiling.PhaseProfiler()
@@ -378,13 +422,26 @@ def _execute_cell(
         if cache is not None:
             payload = cache.load_cell(cell)
             if payload is not _MISS:
-                return ("ok", payload, time.perf_counter() - started, {})
+                profiler.count("cell_cache_hits")
+                return (
+                    "ok",
+                    payload,
+                    time.perf_counter() - started,
+                    profiler.snapshot(),
+                )
+            profiler.count("cell_cache_misses")
         runner = _CELL_RUNNERS.get(cell.section)
         if runner is None:
             raise KeyError(f"unknown cell section {cell.section!r}")
+        trace_hits = cache.stats.hits if cache is not None else 0
+        trace_misses = cache.stats.misses if cache is not None else 0
         payload = runner(cell)
         if cache is not None:
             cache.store_cell(cell, payload)
+            profiler.count("trace_cache_hits", cache.stats.hits - trace_hits)
+            profiler.count(
+                "trace_cache_misses", cache.stats.misses - trace_misses
+            )
         return (
             "ok",
             payload,

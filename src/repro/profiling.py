@@ -10,14 +10,18 @@ installed; with no profiler active the per-call overhead is one
 module-global ``None`` check per phase invocation (not per
 instruction), so production runs pay nothing measurable.
 
-Snapshots are plain ``{phase: (calls, seconds, items)}`` dicts, so
-they pickle across the parallel engine's process boundary: each
-worker profiles its own cell and ships the snapshot back with the
-payload (see :class:`repro.harness.parallel.CellOutcome`), and the
-caller merges them into one suite-wide breakdown.  ``repro report
---profile`` and ``repro profile <benchmark>`` render that breakdown;
-it never enters the report document itself, which stays
-byte-comparable across runs.
+Snapshots are plain dicts, so they pickle across the parallel
+engine's process boundary: each worker profiles its own cell and
+ships the snapshot back with the payload (see
+:class:`repro.harness.parallel.CellOutcome`), and the caller merges
+them into one suite-wide breakdown.  ``repro report --profile`` and
+``repro profile <benchmark>`` render that breakdown; it never enters
+the report document itself, which stays byte-comparable across runs.
+
+Besides timed phases the profiler carries named *counters* — cache
+hit/miss/section-reuse tallies from :mod:`repro.harness.parallel` —
+so a ``--profile`` run explains *why* a warm report was fast, not
+just that it was.
 """
 
 from __future__ import annotations
@@ -27,9 +31,14 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 #: Canonical rendering order; unknown phases sort after these.
-PHASE_ORDER = ("compile", "emulate", "timing", "traffic", "render")
+PHASE_ORDER = (
+    "compile", "emulate", "timing", "traffic", "analysis", "render"
+)
 
-#: Picklable form of a profiler: phase -> (calls, seconds, items).
+#: Picklable form of a profiler.  The current shape is
+#: ``{"phases": {phase: (calls, seconds, items)}, "counters": {...}}``;
+#: :meth:`PhaseProfiler.merge` also still folds the legacy flat
+#: ``{phase: (calls, seconds, items)}`` shape (pre-counter snapshots).
 Snapshot = Dict[str, Tuple[int, float, int]]
 
 
@@ -55,6 +64,7 @@ class PhaseProfiler:
 
     def __init__(self) -> None:
         self.phases: Dict[str, PhaseStat] = {}
+        self.counters: Dict[str, int] = {}
 
     def note(self, phase: str, seconds: float, items: int = 0) -> None:
         stat = self.phases.get(phase)
@@ -64,11 +74,29 @@ class PhaseProfiler:
         stat.seconds += seconds
         stat.items += items
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named event counter (cache hits, sections reused...)."""
+        if n:
+            self.counters[name] = self.counters.get(name, 0) + n
+
     def merge(self, snapshot: Optional[Snapshot]) -> None:
-        """Fold a picklable snapshot (e.g. from a worker) into this one."""
+        """Fold a picklable snapshot (e.g. from a worker) into this one.
+
+        Accepts both the current ``{"phases": ..., "counters": ...}``
+        shape and the legacy flat ``{phase: (calls, seconds, items)}``
+        shape shipped by pre-counter caches.
+        """
         if not snapshot:
             return
-        for phase, (calls, seconds, items) in snapshot.items():
+        if set(snapshot) <= {"phases", "counters"} and all(
+            isinstance(value, dict) for value in snapshot.values()
+        ):
+            phases = snapshot.get("phases", {})
+            for name, n in snapshot.get("counters", {}).items():
+                self.count(name, n)
+        else:
+            phases = snapshot
+        for phase, (calls, seconds, items) in phases.items():
             stat = self.phases.get(phase)
             if stat is None:
                 stat = self.phases[phase] = PhaseStat()
@@ -78,8 +106,11 @@ class PhaseProfiler:
 
     def snapshot(self) -> Snapshot:
         return {
-            phase: (stat.calls, stat.seconds, stat.items)
-            for phase, stat in self.phases.items()
+            "phases": {
+                phase: (stat.calls, stat.seconds, stat.items)
+                for phase, stat in self.phases.items()
+            },
+            "counters": dict(self.counters),
         }
 
     @property
@@ -104,6 +135,10 @@ class PhaseProfiler:
                 f"{phase:10s} {stat.calls:6d} {stat.seconds:9.3f} "
                 f"{share:6.1f}% {stat.items / 1e6:9.2f} {mips}"
             )
+        if self.counters:
+            lines.append("cache counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:24s} {self.counters[name]:8d}")
         return "\n".join(lines)
 
 

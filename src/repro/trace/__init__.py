@@ -5,8 +5,14 @@ from repro.trace.analysis import (
     MultiSink,
     OffsetLocality,
     StackDepthProfile,
+    consume_trace,
 )
-from repro.trace.columnar import ColumnarTrace
+from repro.trace.columnar import (
+    ColumnarTrace,
+    numpy_available,
+    numpy_enabled,
+    set_numpy_enabled,
+)
 from repro.trace.records import TraceRecord
 from repro.trace.serialization import (
     TraceFormatError,
@@ -38,8 +44,12 @@ __all__ = [
     "TraceWriter",
     "classify_access",
     "classify_address",
+    "consume_trace",
     "is_stack_address",
     "load_trace",
+    "numpy_available",
+    "numpy_enabled",
     "save_trace",
+    "set_numpy_enabled",
     "write_trace",
 ]

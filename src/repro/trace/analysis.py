@@ -1,18 +1,47 @@
 """Streaming trace analyses reproducing the paper's Figures 1-3.
 
-Each analysis implements the trace-sink protocol (an ``append`` method)
-so it can be attached directly to :meth:`repro.emulator.Machine.run`
-and consume the dynamic instruction stream without storing it.
+Each analysis implements two consumption protocols:
+
+* the trace-sink protocol (an ``append`` method), so it can be
+  attached directly to :meth:`repro.emulator.Machine.run` and consume
+  the dynamic instruction stream without storing it — this remains the
+  reference implementation;
+* the batched protocol (``consume_columns(trace, lo, hi)``), which
+  walks a :class:`~repro.trace.columnar.ColumnarTrace`'s flat columns
+  without materializing a :class:`TraceRecord` per instruction.  When
+  the optional numpy backend is enabled
+  (:meth:`ColumnarTrace.as_arrays`), region classification and
+  histogram accumulation run as vectorized reductions over the column
+  views; otherwise a pure-python index walk over the packed columns is
+  used.
+
+``tests/test_analysis_columnar.py`` differentially gates all three
+paths (append / python columns / numpy columns) field-for-field on the
+whole workload suite plus fuzzed traces.
+
+:func:`consume_trace` is the dispatcher the harness uses: it feeds one
+trace to many sinks, batching where a sink supports it and sharing a
+single record-materialization pass for any that do not, and notes the
+``analysis`` phase into the active :mod:`repro.profiling` profiler.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import profiling
+from repro.emulator.memory import DATA_BASE, HEAP_BASE
+from repro.isa.registers import FP, SP
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import TraceRecord
-from repro.trace.regions import AccessMethod, classify_access
+from repro.trace.regions import (
+    AccessMethod,
+    STACK_REGION_FLOOR,
+    classify_access,
+)
 
 
 @dataclass
@@ -36,6 +65,90 @@ class AccessDistribution:
             return
         self.memory_references += 1
         self.counts[classify_access(record.addr, record.base_reg)] += 1
+
+    def consume_columns(
+        self, trace: ColumnarTrace, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Batched form of ``append`` over ``trace[lo:hi)``."""
+        hi = len(trace) if hi is None else hi
+        arrays = trace.as_arrays()
+        if arrays is not None:
+            self._consume_arrays(arrays, lo, hi)
+        else:
+            self._consume_python(trace, lo, hi)
+
+    def _consume_python(self, trace: ColumnarTrace, lo: int, hi: int) -> None:
+        """Reference batched path: index walk over the packed columns.
+
+        Region classification is inlined from
+        :func:`repro.trace.regions.classify_access` (the TEXT region
+        folds into OTHER there, so ``addr < DATA_BASE`` covers both).
+        """
+        col_flags = trace.flags
+        col_addr = trace.addr
+        col_base = trace.base
+        stack_floor = STACK_REGION_FLOOR
+        heap_base = HEAP_BASE
+        data_base = DATA_BASE
+        sp_count = fp_count = gpr_count = 0
+        global_count = heap_count = other_count = 0
+        memory = 0
+        for index in range(lo, hi):
+            if not col_flags[index] & 3:  # neither load nor store
+                continue
+            memory += 1
+            addr = col_addr[index]
+            if addr >= stack_floor:
+                base = col_base[index]
+                if base == SP:
+                    sp_count += 1
+                elif base == FP:
+                    fp_count += 1
+                else:
+                    gpr_count += 1
+            elif addr >= heap_base:
+                heap_count += 1
+            elif addr >= data_base:
+                global_count += 1
+            else:
+                other_count += 1
+        self.total_instructions += hi - lo
+        self.memory_references += memory
+        counts = self.counts
+        counts[AccessMethod.STACK_SP] += sp_count
+        counts[AccessMethod.STACK_FP] += fp_count
+        counts[AccessMethod.STACK_GPR] += gpr_count
+        counts[AccessMethod.GLOBAL] += global_count
+        counts[AccessMethod.HEAP] += heap_count
+        counts[AccessMethod.OTHER] += other_count
+
+    def _consume_arrays(self, arrays, lo: int, hi: int) -> None:
+        """Vectorized batched path over the numpy column views."""
+        flags = arrays.flags[lo:hi]
+        addr = arrays.addr[lo:hi]
+        base = arrays.base[lo:hi]
+        memory = (flags & 3) != 0
+        stack = memory & (addr >= STACK_REGION_FLOOR)
+        sp_count = int((stack & (base == SP)).sum())
+        fp_count = int((stack & (base == FP)).sum())
+        stack_count = int(stack.sum())
+        nonstack = memory & ~stack
+        heap_count = int((nonstack & (addr >= HEAP_BASE)).sum())
+        global_count = int(
+            (nonstack & (addr >= DATA_BASE) & (addr < HEAP_BASE)).sum()
+        )
+        memory_count = int(memory.sum())
+        self.total_instructions += hi - lo
+        self.memory_references += memory_count
+        counts = self.counts
+        counts[AccessMethod.STACK_SP] += sp_count
+        counts[AccessMethod.STACK_FP] += fp_count
+        counts[AccessMethod.STACK_GPR] += stack_count - sp_count - fp_count
+        counts[AccessMethod.GLOBAL] += global_count
+        counts[AccessMethod.HEAP] += heap_count
+        counts[AccessMethod.OTHER] += (
+            memory_count - stack_count - heap_count - global_count
+        )
 
     @property
     def memory_fraction(self) -> float:
@@ -92,6 +205,54 @@ class StackDepthProfile:
         if depth > self.max_depth:
             self.max_depth = depth
 
+    def consume_columns(
+        self, trace: ColumnarTrace, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Batched form of ``append`` over ``trace[lo:hi)``.
+
+        Sample indices stay absolute trace positions, matching the
+        ``record.index`` values of the streaming path.
+        """
+        hi = len(trace) if hi is None else hi
+        arrays = trace.as_arrays()
+        if arrays is not None:
+            self._consume_arrays(arrays, lo, hi)
+        else:
+            self._consume_python(trace, lo, hi)
+
+    def _consume_python(self, trace: ColumnarTrace, lo: int, hi: int) -> None:
+        col_flags = trace.flags
+        col_sp = trace.sp
+        stack_base = self.stack_base
+        samples_append = self.samples.append
+        max_depth = self.max_depth
+        for index in range(lo, hi):
+            if not col_flags[index] & 32:  # not an sp_update
+                continue
+            depth = (stack_base - col_sp[index]) // 8
+            samples_append((index, depth))
+            if depth > max_depth:
+                max_depth = depth
+        self.max_depth = max_depth
+
+    def _consume_arrays(self, arrays, lo: int, hi: int) -> None:
+        import numpy as np
+
+        flags = arrays.flags[lo:hi]
+        updates = np.nonzero((flags & 32) != 0)[0]
+        if not updates.size:
+            return
+        # int64 cast before the subtraction: uint64 would wrap if the
+        # stack base ever sat below $sp.
+        sp_values = arrays.sp[lo:hi][updates].astype(np.int64)
+        depths = (self.stack_base - sp_values) // 8
+        self.samples.extend(
+            zip((updates + lo).tolist(), depths.tolist())
+        )
+        top = int(depths.max())
+        if top > self.max_depth:
+            self.max_depth = top
+
     def depth_series(self, points: int = 100) -> List[int]:
         """Resample the depth curve to a fixed number of points."""
         if not self.samples or points <= 0:
@@ -143,6 +304,70 @@ class OffsetLocality:
         self.total += 1
         self.sum_offsets += offset
         self.histogram[offset] = self.histogram.get(offset, 0) + 1
+
+    def consume_columns(
+        self, trace: ColumnarTrace, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Batched form of ``append`` over ``trace[lo:hi)``."""
+        hi = len(trace) if hi is None else hi
+        arrays = trace.as_arrays()
+        if arrays is not None:
+            self._consume_arrays(arrays, lo, hi)
+        else:
+            self._consume_python(trace, lo, hi)
+
+    def _consume_python(self, trace: ColumnarTrace, lo: int, hi: int) -> None:
+        col_flags = trace.flags
+        col_addr = trace.addr
+        col_sp = trace.sp
+        stack_floor = STACK_REGION_FLOOR
+        histogram = self.histogram
+        total = 0
+        sum_offsets = 0
+        beyond = 0
+        for index in range(lo, hi):
+            if not col_flags[index] & 3:
+                continue
+            addr = col_addr[index]
+            if addr < stack_floor:
+                continue
+            offset = addr - col_sp[index]
+            if offset < 0:
+                beyond += 1
+                continue
+            total += 1
+            sum_offsets += offset
+            histogram[offset] = histogram.get(offset, 0) + 1
+        self.total += total
+        self.sum_offsets += sum_offsets
+        self.beyond_tos += beyond
+
+    def _consume_arrays(self, arrays, lo: int, hi: int) -> None:
+        import numpy as np
+
+        flags = arrays.flags[lo:hi]
+        addr = arrays.addr[lo:hi]
+        stack = np.nonzero(
+            ((flags & 3) != 0) & (addr >= STACK_REGION_FLOOR)
+        )[0]
+        if not stack.size:
+            return
+        # int64 casts before the subtraction: the columns are uint64
+        # and a reference beyond the TOS (addr < $sp) would wrap.
+        offsets = addr[stack].astype(np.int64) - arrays.sp[lo:hi][
+            stack
+        ].astype(np.int64)
+        beyond = offsets < 0
+        self.beyond_tos += int(beyond.sum())
+        covered = offsets[~beyond]
+        if not covered.size:
+            return
+        self.total += int(covered.size)
+        self.sum_offsets += int(covered.sum())
+        values, counts = np.unique(covered, return_counts=True)
+        histogram = self.histogram
+        for offset, count in zip(values.tolist(), counts.tolist()):
+            histogram[offset] = histogram.get(offset, 0) + count
 
     @property
     def average_offset(self) -> float:
@@ -204,3 +429,79 @@ class MultiSink:
             sink.append(record)
         if self._keep:
             self.records.append(record)
+
+    def consume_columns(
+        self, trace: ColumnarTrace, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Fan a column window out, batching sinks that support it.
+
+        Sinks without ``consume_columns`` (and the ``keep`` copy, which
+        needs materialized records) share one record-materialization
+        pass.
+        """
+        hi = len(trace) if hi is None else hi
+        legacy = []
+        for sink in self.sinks:
+            consume = getattr(sink, "consume_columns", None)
+            if consume is None:
+                legacy.append(sink)
+            else:
+                consume(trace, lo, hi)
+        if legacy or self._keep:
+            record_at = trace.record_at
+            records = self.records
+            for index in range(lo, hi):
+                record = record_at(index)
+                for sink in legacy:
+                    sink.append(record)
+                if self._keep:
+                    records.append(record)
+
+
+def consume_trace(
+    trace,
+    sinks: Sequence,
+    lo: int = 0,
+    hi: Optional[int] = None,
+) -> int:
+    """Feed ``trace[lo:hi)`` to every sink; returns instructions fed.
+
+    The harness-side dispatcher for the batched analysis protocol:
+
+    * on a :class:`ColumnarTrace`, sinks implementing
+      ``consume_columns`` walk the flat columns (vectorized when the
+      numpy backend is on); any remaining ``append``-only sinks share
+      one record-materialization pass;
+    * on a plain record sequence every sink falls back to ``append``.
+
+    Wall time and instruction count are noted as the ``analysis``
+    phase of the active :mod:`repro.profiling` profiler.
+    """
+    profiler = profiling.active()
+    started = perf_counter() if profiler is not None else 0.0
+    if isinstance(trace, ColumnarTrace):
+        end = len(trace) if hi is None else hi
+        legacy = []
+        for sink in sinks:
+            consume = getattr(sink, "consume_columns", None)
+            if consume is None:
+                legacy.append(sink)
+            else:
+                consume(trace, lo, end)
+        if legacy:
+            record_at = trace.record_at
+            for index in range(lo, end):
+                record = record_at(index)
+                for sink in legacy:
+                    sink.append(record)
+        count = end - lo
+    else:
+        records = trace if lo == 0 and hi is None else trace[lo:hi]
+        count = 0
+        for record in records:
+            for sink in sinks:
+                sink.append(record)
+            count += 1
+    if profiler is not None:
+        profiler.note("analysis", perf_counter() - started, count)
+    return count

@@ -33,18 +33,57 @@ Column layout (one entry per retired instruction)::
 The record ``index`` is implicit: it is the position in the columns.
 :meth:`records` (and ``__iter__``/``__getitem__``) materialize
 :class:`TraceRecord` views on demand, so every legacy consumer — the
-Figure 1-3 analyses, the prediction harness, tests — keeps working on a
-``ColumnarTrace`` unchanged.
+prediction harness, tests — keeps working on a ``ColumnarTrace``
+unchanged; the Figure 1-3 analyses consume columns in batch (see
+:mod:`repro.trace.analysis`).
+
+When numpy is importable, :meth:`ColumnarTrace.as_arrays` additionally
+exposes the columns as zero-copy ``ndarray`` views (the optional
+``repro[fast]`` backend); the pure-python column walk remains the
+reference implementation and the two are differentially gated by
+``tests/test_analysis_columnar.py``.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional
 
 from repro.isa.encoding import OPCODE_NAMES, OPCODE_NUMBERS
 from repro.isa.instructions import OPCODES
 from repro.trace.records import TraceRecord
+
+try:  # optional fast backend (repro[fast]); never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via set_numpy_enabled
+    _np = None
+
+#: Runtime switch for the numpy backend (see :func:`set_numpy_enabled`).
+_NUMPY_ENABLED = True
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy column backend is importable."""
+    return _np is not None
+
+
+def numpy_enabled() -> bool:
+    """True when :meth:`ColumnarTrace.as_arrays` will return views."""
+    return _np is not None and _NUMPY_ENABLED
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Toggle the numpy backend at runtime; returns the previous state.
+
+    The pure-python column walk is the reference implementation, so
+    benchmarks and the differential gate use this to time/compare both
+    paths in one process.  Enabling has no effect when numpy is not
+    importable.
+    """
+    global _NUMPY_ENABLED
+    previous = _NUMPY_ENABLED
+    _NUMPY_ENABLED = bool(enabled)
+    return previous
 
 #: Packed ``flags`` column bits (also the on-disk encoding).
 FLAG_LOAD = 1
@@ -56,6 +95,53 @@ FLAG_SP_UPDATE = 32
 
 #: op_class per opcode number, indexed by OPCODE_NUMBERS (index 0 unused).
 OPCODE_CLASSES = [None] + [OPCODES[name].op_class for name in OPCODES]
+
+class ColumnArrays:
+    """Zero-copy ndarray views over one :class:`ColumnarTrace`.
+
+    Same attribute names as the trace's columns; dtypes mirror the
+    column element types (``uint64`` for addresses, ``int64`` for
+    signed immediates, ``int8`` for register numbers, ``uint8`` for
+    byte columns).  The views alias the trace's buffers directly, so
+    they are only valid until the next ``append`` to the trace.
+    """
+
+    __slots__ = (
+        "pc",
+        "opcode",
+        "flags",
+        "size",
+        "base",
+        "dst",
+        "nsrc",
+        "src0",
+        "src1",
+        "disp",
+        "spimm",
+        "addr",
+        "next_pc",
+        "sp",
+    )
+
+
+#: numpy dtype name per column (keyed like ``ColumnarTrace.__slots__``).
+_COLUMN_DTYPES = {
+    "pc": "uint64",
+    "opcode": "uint8",
+    "flags": "uint8",
+    "size": "uint8",
+    "base": "int8",
+    "dst": "int8",
+    "nsrc": "uint8",
+    "src0": "uint8",
+    "src1": "uint8",
+    "disp": "int64",
+    "spimm": "int64",
+    "addr": "uint64",
+    "next_pc": "uint64",
+    "sp": "uint64",
+}
+
 
 _FIELDS = (
     "index",
@@ -165,6 +251,26 @@ class ColumnarTrace:
         for record in records:
             append(record)
         return trace
+
+    # ---------------------------------------------------- numpy backend
+    def as_arrays(self) -> Optional[ColumnArrays]:
+        """Zero-copy ndarray views of the columns, or ``None``.
+
+        Returns ``None`` when numpy is unavailable or disabled via
+        :func:`set_numpy_enabled` — callers fall back to the
+        pure-python column walk.  The views share memory with the
+        columns (``np.frombuffer`` over the buffer protocol), so they
+        are invalidated by the next ``append``.
+        """
+        if _np is None or not _NUMPY_ENABLED:
+            return None
+        views = ColumnArrays()
+        for name in ColumnarTrace.__slots__:
+            views_array = _np.frombuffer(
+                getattr(self, name), dtype=_COLUMN_DTYPES[name]
+            )
+            setattr(views, name, views_array)
+        return views
 
     # ------------------------------------------------------------ view
     def record_at(self, index: int) -> TraceRecord:

@@ -18,10 +18,11 @@ more often.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import TraceRecord
-from repro.trace.regions import is_stack_address
+from repro.trace.regions import STACK_REGION_FLOOR, is_stack_address
 
 
 @dataclass
@@ -73,6 +74,58 @@ class FirstTouchProfile:
                 ]:
                     self._pending.discard(word)
             self._previous_sp = new_sp
+
+    def consume_columns(
+        self, trace: ColumnarTrace, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Batched form of ``append`` over ``trace[lo:hi)``.
+
+        This analysis is an inherently sequential state machine (each
+        instruction's effect depends on the pending-word set left by
+        all earlier ones), so there is no vectorized variant — the
+        batched win is skipping record materialization and walking the
+        packed columns with locals bound.
+        """
+        hi = len(trace) if hi is None else hi
+        col_flags = trace.flags
+        col_addr = trace.addr
+        col_sp = trace.sp
+        stack_floor = STACK_REGION_FLOOR
+        pending = self._pending
+        seen_other = self._seen_other
+        previous_sp = self._previous_sp
+        cap = self.allocation_cap
+        for index in range(lo, hi):
+            flags = col_flags[index]
+            if previous_sp == 0:
+                previous_sp = col_sp[index]
+            if flags & 3:  # load or store
+                addr = col_addr[index]
+                word = addr & ~7
+                if addr >= stack_floor:
+                    if word in pending:
+                        pending.discard(word)
+                        if flags & 2:
+                            self.stack_first_stores += 1
+                        else:
+                            self.stack_first_loads += 1
+                elif word not in seen_other:
+                    seen_other[word] = True
+                    if flags & 2:
+                        self.other_first_stores += 1
+                    else:
+                        self.other_first_loads += 1
+            if flags & 32:  # sp_update
+                new_sp = col_sp[index]
+                if new_sp < previous_sp:
+                    exposed = min((previous_sp - new_sp) // 8, cap)
+                    for offset in range(exposed):
+                        pending.add(new_sp + 8 * offset)
+                else:
+                    for word in [w for w in pending if w < new_sp]:
+                        pending.discard(word)
+                previous_sp = new_sp
+        self._previous_sp = previous_sp
 
     @property
     def stack_first_store_fraction(self) -> float:

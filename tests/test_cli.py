@@ -217,11 +217,33 @@ class TestReport:
         ) == 0
         out = capsys.readouterr().out
         assert "Phase profile — full report" in out
-        for phase in ("compile", "emulate", "timing", "traffic", "render"):
+        for phase in ("compile", "emulate", "timing", "traffic",
+                      "analysis", "render"):
             assert phase in out, phase
+        # Cold run against a private cache: every trace and cell is a
+        # miss, and the counter block names them.
+        assert "cache counters:" in out
+        for counter in ("cell_cache_misses", "trace_cache_misses",
+                        "sections_rendered"):
+            assert counter in out, counter
         # The breakdown goes to stdout only: the document stays
         # byte-comparable with and without --profile.
         assert "Phase profile" not in open(output).read()
+
+    def test_incremental_warm_run_reports_reuse(self, tmp_path, capsys):
+        output = str(tmp_path / "report.md")
+        argv = ["report", "--output", output,
+                "--timing-window", "3000", "--functional-window", "3000",
+                "--benchmarks", "mcf", "--profile", "--incremental",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = open(output).read()
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sections_reused" in out
+        assert "section_cache_hits" in out
+        assert open(output).read() == cold
 
 
 class TestProfile:
@@ -230,7 +252,8 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "gzip.graphic: 3,000 instructions traced" in out
         assert "Phase profile — gzip.graphic" in out
-        for phase in ("compile", "emulate", "timing", "traffic"):
+        for phase in ("compile", "emulate", "timing", "traffic",
+                      "analysis"):
             assert phase in out, phase
         assert "MIPS" in out
 

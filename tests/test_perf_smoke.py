@@ -12,7 +12,17 @@ from time import perf_counter
 
 import pytest
 
+from repro.core.traffic import simulate_traffic
+from repro.emulator.memory import STACK_BASE
 from repro.profiling import profiled
+from repro.trace.analysis import (
+    AccessDistribution,
+    OffsetLocality,
+    StackDepthProfile,
+    consume_trace,
+)
+from repro.trace.columnar import set_numpy_enabled
+from repro.trace.first_touch import FirstTouchProfile
 from repro.uarch.config import table2_config
 from repro.uarch.pipeline import simulate
 from repro.workloads import workload
@@ -21,6 +31,8 @@ from repro.workloads import workload
 EMULATE_BUDGET = 3.0
 TIMING_BUDGET = 6.0
 END_TO_END_BUDGET = 10.0
+ANALYSIS_BUDGET = 3.0
+TRAFFIC_BUDGET = 3.0
 WINDOW = 40_000
 
 
@@ -40,6 +52,46 @@ def test_cold_single_workload_end_to_end_budget():
     phases = profiler.phases
     assert phases["emulate"].seconds < EMULATE_BUDGET, profiler.render()
     assert phases["timing"].seconds < TIMING_BUDGET, profiler.render()
+
+
+@pytest.mark.perf
+def test_batched_analysis_budget():
+    # The Fig 1-3 characterization pass over 40k packed records stays
+    # well under a second even on the pure-python column walk; the
+    # budget fires only if someone reroutes it through per-record
+    # TraceRecord construction again.  numpy is deliberately disabled
+    # so the tripwire guards the reference path every host exercises.
+    trace = workload("gzip").trace(max_instructions=WINDOW)
+    sinks = (
+        AccessDistribution(),
+        StackDepthProfile(stack_base=STACK_BASE),
+        OffsetLocality(),
+        FirstTouchProfile(),
+    )
+    previous = set_numpy_enabled(False)
+    try:
+        with profiled() as profiler:
+            consume_trace(trace, sinks)
+    finally:
+        set_numpy_enabled(previous)
+    stat = profiler.phases["analysis"]
+    assert stat.items == WINDOW
+    assert stat.seconds < ANALYSIS_BUDGET, profiler.render()
+
+
+@pytest.mark.perf
+def test_batched_traffic_budget():
+    # Same tripwire for the Table 3 consumer's columnar walk.
+    trace = workload("gzip").trace(max_instructions=WINDOW)
+    previous = set_numpy_enabled(False)
+    try:
+        with profiled() as profiler:
+            simulate_traffic(trace)
+    finally:
+        set_numpy_enabled(previous)
+    stat = profiler.phases["traffic"]
+    assert stat.items == WINDOW
+    assert stat.seconds < TRAFFIC_BUDGET, profiler.render()
 
 
 @pytest.mark.perf
