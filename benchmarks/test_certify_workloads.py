@@ -1,0 +1,49 @@
+"""Whole-program certification verdicts for the registry workloads.
+
+Runs ``repro certify --all --validate`` programmatically: every
+workload's static certificate (depth bound, LIFO proof, escape
+classes) plus the full-run dynamic cross-validation, rendered into a
+committed artifact so verdict drift shows up in review.
+"""
+
+from repro.analysis import render_certificates
+from repro.harness.certification import render_validations, validate_workload
+from repro.workloads import ALL_BENCHMARKS, workload
+
+#: Workloads whose call graphs recurse: certified UNBOUNDED, soft flag.
+RECURSIVE = {"186.crafty", "252.eon", "176.gcc", "197.parser"}
+
+
+def _certify_all():
+    certificates = []
+    validations = []
+    for name in ALL_BENCHMARKS:
+        certificate, validation = validate_workload(workload(name))
+        certificates.append(certificate)
+        validations.append(validation)
+    return certificates, validations
+
+
+def test_certify_workloads(benchmark, emit):
+    certificates, validations = benchmark.pedantic(
+        _certify_all, rounds=1, iterations=1
+    )
+    text = "== repro certify --all --validate ==\n\n"
+    text += render_certificates(certificates, verbose=True)
+    text += "\n\n" + render_validations(validations)
+    emit("certify_workloads", text)
+
+    recursive_names = {workload(name).full_name for name in RECURSIVE}
+    assert len(certificates) == 13
+    for certificate in certificates:
+        assert certificate.ok, certificate.summary_line()
+        assert certificate.lifo_ok
+        if certificate.name in recursive_names:
+            assert certificate.depth_bound is None
+        else:
+            assert certificate.depth_bound is not None
+    for validation in validations:
+        assert validation.ok, validation.render()
+    assert "CERTIFIED" in text
+    assert "validated, all sound" in text
+    assert "FLAGGED" not in text

@@ -37,10 +37,12 @@ __version__ = "1.1.0"
 from repro.analysis import LintReport, Severity, lint_all, lint_program
 from repro.api import (
     SCHEMA_VERSION,
+    CertifyResult,
     CompileOptions,
     ExperimentResult,
     MachineSpec,
     RunResult,
+    certify,
     characterize,
     compile_source,
     experiment,
@@ -53,6 +55,7 @@ from repro.uarch import MachineConfig, SimStats, table2_config
 from repro.workloads import all_workloads, workload
 
 __all__ = [
+    "CertifyResult",
     "CompileOptions",
     "ExperimentResult",
     "LintReport",
@@ -66,6 +69,7 @@ __all__ = [
     "StackValueFile",
     "__version__",
     "all_workloads",
+    "certify",
     "characterize",
     "compile_source",
     "experiment",

@@ -13,9 +13,30 @@ package *verifies* those invariants statically:
   (sp-balance, frame-bounds, first-read, dead-store, escape);
 * :mod:`repro.analysis.lint` / :mod:`repro.analysis.report` — the
   lint driver, diagnostics model, and text/JSON rendering behind the
-  ``repro lint`` CLI subcommand.
+  ``repro lint`` CLI subcommand;
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.summaries` /
+  :mod:`repro.analysis.certify` — the whole-program certifier behind
+  ``repro certify``: SCC-condensed call graph, bottom-up
+  interprocedural summaries, and program-level verdicts (depth
+  bounds, slot escape classes, LIFO proofs, integrity lattice).
+
+See ``docs/analysis.md`` for the full pass catalogue and the
+static-vs-dynamic validation contract.
 """
 
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    build_call_graph,
+)
+from repro.analysis.certify import (
+    HARD_FLAGS,
+    FunctionVerdict,
+    ProgramCertificate,
+    SafetyFlag,
+    certify_program,
+    render_certificates,
+)
 from repro.analysis.cfg import (
     BasicBlock,
     CFGAnomaly,
@@ -44,6 +65,15 @@ from repro.analysis.report import (
     render_reports,
     reports_to_json,
 )
+from repro.analysis.summaries import (
+    FunctionSummary,
+    ProgramSummary,
+    SLOT_LOCAL,
+    SLOT_PRIVATE,
+    SLOT_SHARED,
+    SLOT_UNCLEAN,
+    summarize_program,
+)
 from repro.analysis.stackcheck import (
     ALL_PASSES,
     FrameContext,
@@ -61,18 +91,32 @@ __all__ = [
     "BACKWARD",
     "BasicBlock",
     "CFGAnomaly",
+    "CallGraph",
+    "CallSite",
     "DataflowProblem",
     "DataflowResult",
     "Diagnostic",
     "FORWARD",
     "FrameContext",
     "FunctionCFG",
+    "FunctionSummary",
+    "FunctionVerdict",
+    "HARD_FLAGS",
     "LintReport",
     "ProgramCFG",
+    "ProgramCertificate",
+    "ProgramSummary",
+    "SLOT_LOCAL",
+    "SLOT_PRIVATE",
+    "SLOT_SHARED",
+    "SLOT_UNCLEAN",
+    "SafetyFlag",
     "SetProblem",
     "Severity",
     "analyze_frames",
+    "build_call_graph",
     "build_cfg",
+    "certify_program",
     "check_function",
     "check_program",
     "dead_store_pass",
@@ -82,8 +126,10 @@ __all__ = [
     "lint_assembly",
     "lint_program",
     "lint_workload",
+    "render_certificates",
     "render_reports",
     "reports_to_json",
     "solve",
     "structure_pass",
+    "summarize_program",
 ]

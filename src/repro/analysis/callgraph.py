@@ -1,0 +1,278 @@
+"""Whole-program call graph over the CFG layer (``repro certify``).
+
+:mod:`repro.analysis.cfg` already records direct ``bsr`` edges per
+function; this module turns them into the structure interprocedural
+analysis needs:
+
+* **call sites with static callees** — every ``bsr``/``jsr`` site as a
+  :class:`CallSite`, with ``callee=None`` for indirect calls whose
+  target the static graph cannot name;
+* **SCC condensation** — Tarjan's algorithm (iterative, so deep call
+  chains cannot overflow the Python stack) yields the strongly
+  connected components in *bottom-up* order: every callee SCC appears
+  before its callers, which is exactly the order summary computation
+  consumes (:mod:`repro.analysis.summaries`);
+* **recursion detection** — a function is recursive when its SCC has
+  more than one member (mutual recursion) or carries a self edge
+  (direct recursion); :meth:`CallGraph.recursion_cycle` produces a
+  concrete cycle witness for the certificate;
+* **reachability & witness paths** — the live set from the program
+  entry, and a shortest call path from the entry to any function, used
+  to attach counterexample paths to certifier flags.
+
+The graph is *incomplete* in the presence of indirect calls (``jsr``);
+:attr:`CallGraph.unknown_callers` names the functions containing them
+so downstream verdicts can degrade honestly instead of claiming a
+bound the program may exceed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import ProgramCFG, build_cfg
+from repro.isa.instructions import Program
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One static call instruction inside ``caller``."""
+
+    caller: str
+    index: int  # program-wide instruction index
+    #: static callee name; None for an indirect (``jsr``) call
+    callee: Optional[str]
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.callee is None
+
+
+@dataclass
+class CallGraph:
+    """Direct call graph plus its SCC condensation and witness helpers."""
+
+    pcfg: ProgramCFG
+    #: function containing the program entry label (None if absent)
+    root: Optional[str]
+    #: caller -> set of *named* callees (indirect edges excluded)
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: caller -> its call sites in program order
+    sites: Dict[str, List[CallSite]] = field(default_factory=dict)
+    #: functions containing at least one indirect (``jsr``) call site
+    unknown_callers: Set[str] = field(default_factory=set)
+    #: strongly connected components, bottom-up (callees first)
+    sccs: List[Tuple[str, ...]] = field(default_factory=list)
+    #: function name -> index into :attr:`sccs`
+    scc_of: Dict[str, int] = field(default_factory=dict)
+    #: functions on a call cycle (self loop or SCC of size > 1)
+    recursive: Set[str] = field(default_factory=set)
+
+    def is_recursive(self, name: str) -> bool:
+        return name in self.recursive
+
+    def callees(self, name: str) -> Set[str]:
+        return self.edges.get(name, set())
+
+    def reachable(self) -> Set[str]:
+        """Functions reachable from the entry along *named* edges.
+
+        With indirect calls present the set is a lower bound; callers
+        must consult :attr:`unknown_callers` before trusting it as an
+        exhaustive live set.
+        """
+        if self.root is None:
+            return set()
+        live = {self.root}
+        work = [self.root]
+        while work:
+            for callee in self.edges.get(work.pop(), ()):
+                if callee not in live:
+                    live.add(callee)
+                    work.append(callee)
+        return live
+
+    def transitive_callees(self, name: str) -> Set[str]:
+        """Every function reachable from ``name`` (excluding ``name``
+        itself unless it sits on a cycle)."""
+        seen: Set[str] = set()
+        work = list(self.edges.get(name, ()))
+        while work:
+            current = work.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            work.extend(self.edges.get(current, ()))
+        return seen
+
+    def call_path(self, target: str) -> Optional[List[str]]:
+        """Shortest entry→``target`` call chain, or None if unreachable."""
+        if self.root is None or target not in self.pcfg.functions:
+            return None
+        if target == self.root:
+            return [self.root]
+        parent: Dict[str, str] = {}
+        queue = [self.root]
+        seen = {self.root}
+        while queue:
+            nxt: List[str] = []
+            for caller in queue:
+                for callee in sorted(self.edges.get(caller, ())):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    parent[callee] = caller
+                    if callee == target:
+                        path = [callee]
+                        while path[-1] in parent:
+                            path.append(parent[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(callee)
+            queue = nxt
+        return None
+
+    def recursion_cycle(self, name: str) -> Optional[List[str]]:
+        """A concrete call cycle through ``name`` (first == last), or
+        None when ``name`` is not recursive."""
+        if name not in self.recursive:
+            return None
+        if name in self.edges.get(name, ()):
+            return [name, name]
+        members = set(self.sccs[self.scc_of[name]])
+        # BFS within the SCC from name's callees back to name.
+        parent: Dict[str, str] = {}
+        queue = [c for c in sorted(self.edges.get(name, ())) if c in members]
+        seen = set(queue)
+        for callee in queue:
+            parent[callee] = name
+        while queue:
+            current = queue.pop(0)
+            if current == name:
+                break
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in members or callee in seen:
+                    continue
+                seen.add(callee)
+                parent[callee] = current
+                queue.append(callee)
+        if name not in parent:
+            return None  # pragma: no cover - SCC membership guarantees a cycle
+        cycle = [name]
+        current = name
+        while True:
+            current = parent[current]
+            cycle.append(current)
+            if current == name:
+                break
+        return list(reversed(cycle))
+
+
+def build_call_graph(source) -> CallGraph:
+    """Build the :class:`CallGraph` of a :class:`Program` or
+    an already-constructed :class:`ProgramCFG`."""
+    pcfg = source if isinstance(source, ProgramCFG) else build_cfg(source)
+    program: Program = pcfg.program
+
+    entry_index = program.labels.get(program.entry, 0)
+    root = None
+    for name, function in pcfg.functions.items():
+        if function.start == entry_index:
+            root = name
+            break
+    if root is None and pcfg.functions:
+        # Hand-written sources may park the entry mid-function; fall
+        # back to the function containing the entry index.
+        containing = pcfg.function_at(entry_index)
+        root = containing.name if containing is not None else None
+
+    graph = CallGraph(pcfg=pcfg, root=root)
+    start_to_name = {f.start: f.name for f in pcfg.functions.values()}
+    for name, function in pcfg.functions.items():
+        graph.edges[name] = set()
+        graph.sites[name] = []
+        for site in function.call_sites:
+            instruction = program.instructions[site]
+            callee: Optional[str] = None
+            if instruction.op == "bsr" and instruction.target_index is not None:
+                callee = start_to_name.get(instruction.target_index)
+                if callee is None:
+                    # bsr into the middle of a function: cfg records it
+                    # as a call target entry, so this only happens for
+                    # degenerate hand-written code. Treat as unknown.
+                    graph.unknown_callers.add(name)
+                else:
+                    graph.edges[name].add(callee)
+            else:  # jsr
+                graph.unknown_callers.add(name)
+            graph.sites[name].append(CallSite(name, site, callee))
+
+    _condense(graph)
+    return graph
+
+
+def _condense(graph: CallGraph) -> None:
+    """Tarjan SCCs, iterative; fills sccs/scc_of/recursive bottom-up."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+
+    names = list(graph.pcfg.functions)
+
+    def strongconnect(start: str) -> None:
+        work: List[Tuple[str, List[str], int]] = [
+            (start, sorted(graph.edges.get(start, ())), 0)
+        ]
+        index_of[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, callees, position = work[-1]
+            if position < len(callees):
+                work[-1] = (node, callees, position + 1)
+                callee = callees[position]
+                if callee not in index_of:
+                    index_of[callee] = lowlink[callee] = counter[0]
+                    counter[0] += 1
+                    stack.append(callee)
+                    on_stack.add(callee)
+                    work.append(
+                        (callee, sorted(graph.edges.get(callee, ())), 0)
+                    )
+                elif callee in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[callee])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    scc_id = len(graph.sccs)
+                    graph.sccs.append(tuple(sorted(component)))
+                    for member in component:
+                        graph.scc_of[member] = scc_id
+
+    for name in names:
+        if name not in index_of:
+            strongconnect(name)
+
+    for component in graph.sccs:
+        if len(component) > 1:
+            graph.recursive.update(component)
+        else:
+            only = component[0]
+            if only in graph.edges.get(only, ()):
+                graph.recursive.add(only)
+
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph"]

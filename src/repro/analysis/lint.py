@@ -37,10 +37,21 @@ def lint_program(program: Program, name: str = "program") -> LintReport:
 
 def lint_assembly(source: str, entry: str = "main",
                   name: str = "assembly") -> LintReport:
-    """Assemble ``source`` and lint the result."""
-    from repro.isa.assembler import assemble
+    """Assemble ``source`` and lint the result.
 
-    return lint_program(assemble(source, entry=entry), name=name)
+    A source without the entry label (e.g. an empty file) still lints:
+    it assembles as a functionless program and reports clean with an
+    explicit "(no functions)" note rather than failing.
+    """
+    from repro.isa.assembler import AssemblerError, assemble
+
+    try:
+        program = assemble(source, entry=entry)
+    except AssemblerError as exc:
+        if "missing entry label" not in str(exc):
+            raise
+        program = assemble(f"{source}\n{entry}:\n", entry=entry)
+    return lint_program(program, name=name)
 
 
 def lint_workload(
@@ -55,15 +66,41 @@ def lint_workload(
     return lint_program(work.program(options), name=work.full_name)
 
 
-def lint_all(options=None) -> List[LintReport]:
+def lint_all(options=None, jobs: Optional[int] = None) -> List[LintReport]:
     """Lint every registry benchmark (first input set of each).
 
     Covers the twelve Table-1 workloads plus the ``ext.x86mix``
-    partial-word extension — all 13 registry entries.
+    partial-word extension — all 13 registry entries.  ``jobs`` fans
+    the suite over the parallel engine (``None``/``1`` runs inline);
+    reports come back in registry order either way.
     """
     from repro.workloads import ALL_BENCHMARKS
 
-    return [
-        lint_workload(benchmark, options=options)
+    if jobs is None or jobs == 1:
+        return [
+            lint_workload(benchmark, options=options)
+            for benchmark in ALL_BENCHMARKS
+        ]
+
+    from repro.harness.parallel import EngineOptions, TaskCell, run_cells
+
+    params = ()
+    if options is not None:
+        params = (("opt_level", options.opt_level),)
+    cells = [
+        TaskCell(section="lint", benchmark=benchmark, window=None,
+                 params=params)
         for benchmark in ALL_BENCHMARKS
     ]
+    outcomes = run_cells(
+        cells, EngineOptions(jobs=jobs, cache_dir=None)
+    )
+    reports: List[LintReport] = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"lint worker failed on {outcome.cell.benchmark}: "
+                f"{outcome.error}"
+            )
+        reports.append(outcome.payload)
+    return reports

@@ -117,11 +117,19 @@ class LintReport:
     def summary(self) -> str:
         counts = self.counts()
         status = "clean" if self.ok else "FAILED"
+        if self.function_count == 0:
+            # An empty or functionless program is vacuously clean; say
+            # so explicitly instead of emitting a silently empty report.
+            shape = f"(no functions, {self.instruction_count} instructions)"
+        else:
+            shape = (
+                f"({self.function_count} functions, "
+                f"{self.instruction_count} instructions)"
+            )
         return (
             f"{self.name}: {status} — {counts['error']} error(s), "
             f"{counts['warning']} warning(s), {counts['info']} info "
-            f"({self.function_count} functions, "
-            f"{self.instruction_count} instructions)"
+            f"{shape}"
         )
 
     def render_text(self, max_info: Optional[int] = None) -> str:

@@ -341,15 +341,19 @@ def lint(
     target: Optional[Union[str, Program]] = None,
     input_name: Optional[str] = None,
     options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+    jobs: Optional[int] = None,
 ) -> List[LintReport]:
     """Stack-discipline lint; always returns a list of reports.
 
     ``target`` is a workload name, an assembled :class:`Program`, or
-    ``None`` to lint the entire registry suite.
+    ``None`` to lint the entire registry suite; ``jobs`` fans the
+    suite sweep over the parallel engine (``None``/``1`` = inline).
     """
+    if jobs is not None and jobs < 1:
+        raise UsageError(f"jobs must be >= 1, not {jobs!r}")
     resolved = _codegen_options(options)
     if target is None:
-        return lint_all(options=resolved)
+        return lint_all(options=resolved, jobs=jobs)
     if isinstance(target, Program):
         return [lint_program(target)]
     return [lint_workload(target, input_name, options=resolved)]
@@ -361,6 +365,117 @@ def lint_json(reports: List[LintReport], indent: int = 2) -> str:
         "kind": "lint",
         "ok": all(report.ok for report in reports),
         "workloads": [report.to_dict() for report in reports],
+    }), indent=indent)
+
+
+@dataclass(frozen=True)
+class CertifyResult:
+    """One certified (and optionally trace-validated) program."""
+
+    certificate: "ProgramCertificate"
+    validation: Optional["ValidationResult"] = None
+
+    @property
+    def name(self) -> str:
+        return self.certificate.name
+
+    @property
+    def ok(self) -> bool:
+        """No hard flag, and the dynamic run (if any) stayed sound."""
+        if not self.certificate.ok:
+            return False
+        return self.validation is None or self.validation.ok
+
+
+def certify(
+    target: Optional[Union[str, Program]] = None,
+    input_name: Optional[str] = None,
+    options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+    validate: bool = False,
+    adversarial: bool = False,
+    max_instructions: Optional[int] = None,
+) -> List[CertifyResult]:
+    """Whole-program stack-safety certification (``repro certify``).
+
+    ``target`` is a workload name, an assembled :class:`Program`, or
+    ``None`` for the entire registry suite; ``adversarial=True``
+    instead certifies the contract-violating family of
+    :mod:`repro.workloads.adversarial` (mutually exclusive with a
+    target).  ``validate=True`` additionally executes each program on
+    the emulator and cross-checks observed depth and escapes against
+    the certificate.
+    """
+    from repro.analysis.certify import certify_program
+    from repro.harness.certification import (
+        certify_adversarial,
+        certify_workload,
+        validate_adversarial,
+        validate_certificate,
+        validate_workload,
+    )
+    from repro.trace.columnar import ColumnarTrace
+    from repro.workloads import ALL_BENCHMARKS
+    from repro.workloads.adversarial import ADVERSARIAL
+
+    if adversarial and target is not None:
+        raise UsageError("certify: adversarial excludes naming a target")
+    resolved = _codegen_options(options)
+
+    results: List[CertifyResult] = []
+    if adversarial:
+        for member in ADVERSARIAL:
+            if validate:
+                certificate, validation = validate_adversarial(
+                    member, max_instructions=max_instructions or 1_000_000
+                )
+            else:
+                certificate, validation = certify_adversarial(member), None
+            results.append(CertifyResult(certificate, validation))
+        return results
+
+    if isinstance(target, Program):
+        certificate = certify_program(target)
+        validation = None
+        if validate:
+            from repro.emulator.machine import Machine
+
+            trace = ColumnarTrace()
+            machine = Machine(target)
+            machine.run(max_instructions=max_instructions,
+                        trace_sink=trace)
+            validation = validate_certificate(
+                certificate, trace, halted=machine.halted
+            )
+        return [CertifyResult(certificate, validation)]
+
+    names = ALL_BENCHMARKS if target is None else [target]
+    for name in names:
+        work = _workload(name, input_name if target is not None else None)
+        if validate:
+            certificate, validation = validate_workload(
+                work, options=resolved, max_instructions=max_instructions
+            )
+        else:
+            certificate, validation = certify_workload(work, resolved), None
+        results.append(CertifyResult(certificate, validation))
+    return results
+
+
+def certify_json(results: List[CertifyResult], indent: int = 2) -> str:
+    """Versioned JSON payload for a list of certify results."""
+    return json.dumps(versioned({
+        "kind": "certify",
+        "ok": all(result.ok for result in results),
+        "programs": [
+            {
+                **result.certificate.to_dict(),
+                "validation": (
+                    result.validation.to_dict()
+                    if result.validation is not None else None
+                ),
+            }
+            for result in results
+        ],
     }), indent=indent)
 
 
@@ -398,6 +513,7 @@ def experiment(name: str, window: Optional[int] = None) -> ExperimentResult:
 
 
 __all__ = [
+    "CertifyResult",
     "CompileOptions",
     "EXPERIMENT_NAMES",
     "ExperimentResult",
@@ -406,6 +522,8 @@ __all__ = [
     "RunResult",
     "SCHEMA_VERSION",
     "UsageError",
+    "certify",
+    "certify_json",
     "characterize",
     "compile_source",
     "experiment",

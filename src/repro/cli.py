@@ -32,10 +32,22 @@ Commands:
 ``predict [--jobs N] [--benchmarks ...]``
     cross-check the static SVF-traffic bounds against full dynamic
     runs over the parallel engine; exits nonzero on a bound violation.
-``lint <workload> | --all [-O LEVEL] [--format text|json]``
+``lint <workload> | --all | --asm FILE [-O LEVEL] [--jobs N]``
     statically verify stack discipline (balanced ``$sp``, frame
     bounds, first-read, dead stores, address escapes) on compiled
-    workloads; exits nonzero when error-severity diagnostics exist.
+    workloads or a hand-written assembly file; exits nonzero when
+    error-severity diagnostics exist.  ``--jobs`` fans the ``--all``
+    sweep over the parallel engine.
+``certify <workload> | --all | --adversarial | --asm FILE``
+    whole-program stack-safety certification: call graph,
+    interprocedural summaries, worst-case depth bound (or UNBOUNDED
+    with a recursion cycle), per-slot escape classes, LIFO
+    proof/counterexample, per-function integrity/confidentiality.
+    ``--validate`` additionally runs the emulator and cross-checks
+    observed depth and escapes against the certificate.  Exit 1 on
+    hard flags (lifo-violation, structural, unclean-escape) or a
+    validation failure; soft flags (unbounded-depth, unknown-callee)
+    exit 0.
 
 Exit codes are uniform across commands: 0 success, 1 the command ran
 but found failures (lint errors), 2 usage errors — unknown workload or
@@ -137,7 +149,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-info", type=int, default=None,
         help="truncate info-severity diagnostics per workload (text)",
     )
+    lint_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers for --all (default: serial)",
+    )
+    lint_parser.add_argument(
+        "--asm", default=None, metavar="FILE",
+        help="lint a hand-written assembly file instead of a workload",
+    )
     opt_flag(lint_parser)
+
+    certify_parser = commands.add_parser(
+        "certify",
+        help="whole-program stack-safety certification",
+    )
+    certify_parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="benchmark to certify (default: requires --all/--adversarial)",
+    )
+    certify_parser.add_argument("--input", default=None)
+    certify_parser.add_argument(
+        "--all", action="store_true",
+        help="certify every registry workload (all 13 programs)",
+    )
+    certify_parser.add_argument(
+        "--adversarial", action="store_true",
+        help="certify the adversarial (contract-violating) family",
+    )
+    certify_parser.add_argument(
+        "--asm", default=None, metavar="FILE",
+        help="certify a hand-written assembly file",
+    )
+    certify_parser.add_argument(
+        "--validate", action="store_true",
+        help="run the emulator and cross-check the certificate",
+    )
+    certify_parser.add_argument(
+        "--max-instructions", type=int, default=None,
+        help="instruction cap for --validate runs (default: full runs)",
+    )
+    certify_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+    )
+    certify_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="include the per-function verdict table (text format)",
+    )
+    opt_flag(certify_parser)
 
     exp_parser = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -359,16 +417,32 @@ def cmd_compile(args) -> int:
 def cmd_lint(args) -> int:
     from repro.analysis import render_reports
 
-    if args.all and args.workload is not None:
-        return _fail("lint: --all conflicts with naming a workload")
+    chosen = sum((args.all, args.workload is not None, args.asm is not None))
+    if chosen > 1:
+        return _fail("lint: --all, --asm and naming a workload conflict")
+    if args.jobs is not None and args.jobs < 1:
+        return _fail(f"lint: --jobs must be >= 1, not {args.jobs}")
     options = _compile_options(args)
     try:
         if args.all:
-            reports = api.lint(options=options)
+            reports = api.lint(options=options, jobs=args.jobs)
+        elif args.asm is not None:
+            from repro.analysis.lint import lint_assembly
+            from repro.isa.assembler import AssemblerError
+
+            try:
+                with open(args.asm) as handle:
+                    source = handle.read()
+            except FileNotFoundError:
+                return _fail(f"no such assembly file: {args.asm}")
+            try:
+                reports = [lint_assembly(source, name=args.asm)]
+            except AssemblerError as exc:
+                return _fail(f"lint: {args.asm}: {exc}")
         elif args.workload is not None:
             reports = api.lint(args.workload, args.input, options=options)
         else:
-            return _fail("lint: name a workload or pass --all")
+            return _fail("lint: name a workload or pass --all/--asm")
     except KeyError as exc:
         return _fail(exc.args[0])
     if args.format == "json":
@@ -376,6 +450,73 @@ def cmd_lint(args) -> int:
     else:
         print(render_reports(reports, max_info=args.max_info))
     return 0 if all(report.ok for report in reports) else 1
+
+
+def cmd_certify(args) -> int:
+    from repro.analysis.certify import render_certificates
+    from repro.harness.certification import render_validations
+
+    chosen = sum((
+        args.all, args.adversarial,
+        args.workload is not None, args.asm is not None,
+    ))
+    if chosen > 1:
+        return _fail(
+            "certify: --all, --adversarial, --asm and naming a "
+            "workload conflict"
+        )
+    if chosen == 0:
+        return _fail(
+            "certify: name a workload or pass --all/--adversarial/--asm"
+        )
+    options = _compile_options(args)
+    try:
+        if args.asm is not None:
+            from repro.isa.assembler import AssemblerError, assemble
+
+            try:
+                with open(args.asm) as handle:
+                    source = handle.read()
+            except FileNotFoundError:
+                return _fail(f"no such assembly file: {args.asm}")
+            try:
+                program = assemble(source)
+            except AssemblerError as exc:
+                return _fail(f"certify: {args.asm}: {exc}")
+            results = api.certify(
+                program,
+                validate=args.validate,
+                max_instructions=args.max_instructions,
+            )
+            results[0].certificate.name = args.asm
+            if results[0].validation is not None:
+                results[0].validation.name = args.asm
+        else:
+            results = api.certify(
+                args.workload,
+                args.input,
+                options=options,
+                validate=args.validate,
+                adversarial=args.adversarial,
+                max_instructions=args.max_instructions,
+            )
+    except KeyError as exc:
+        return _fail(exc.args[0])
+    if args.format == "json":
+        print(api.certify_json(results))
+    else:
+        print(render_certificates(
+            [result.certificate for result in results],
+            verbose=args.verbose,
+        ))
+        validations = [
+            result.validation for result in results
+            if result.validation is not None
+        ]
+        if validations:
+            print()
+            print(render_validations(validations))
+    return 0 if all(result.ok for result in results) else 1
 
 
 def cmd_experiment(args) -> int:
@@ -544,6 +685,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compile": cmd_compile,
         "experiment": cmd_experiment,
         "lint": cmd_lint,
+        "certify": cmd_certify,
         "report": cmd_report,
         "profile": cmd_profile,
         "predict": cmd_predict,

@@ -391,8 +391,20 @@ def _cell_prediction(cell: TaskCell):
     )
 
 
+def _cell_lint(cell: TaskCell):
+    from repro.analysis.lint import lint_workload
+    from repro.lang.codegen import CodegenOptions
+
+    options = None
+    opt_level = cell.param("opt_level")
+    if opt_level is not None:
+        options = CodegenOptions(opt_level=opt_level)
+    return lint_workload(cell.benchmark, options=options)
+
+
 _CELL_RUNNERS: Dict[str, Callable[[TaskCell], Any]] = {
     "characterize": _cell_characterize,
+    "lint": _cell_lint,
     "fig5": _cell_fig5,
     "fig6": _cell_fig6,
     "fig7": _cell_fig7,

@@ -1,0 +1,240 @@
+"""Adversarial stack workloads: programs that *break* the contract.
+
+The registry workloads are deliberately well-behaved — the certifier
+(:mod:`repro.analysis.certify`) proves them clean.  This family is the
+other half of the grading: each member violates (or defeats) one stack
+invariant the SVF relies on, and the certifier must flag it with a
+concrete counterexample path.  None of these join ``ALL_BENCHMARKS``;
+they exist purely for detection tests and ``repro certify
+--adversarial``.
+
+Members
+-------
+``deep-recursion``    self-recursion: no static depth bound exists.
+``mutual-recursion``  a two-function call cycle; same, via an SCC.
+``sp-escape``         a local's address stored to a global — the
+                      CleanStack "unclean object": later aliasing is
+                      invisible to stack tracking.
+``frame-overflow``    a store through ``$sp`` past the frame's top,
+                      clobbering the caller's frame region.
+``lifo-violation``    a statically reachable path that returns with
+                      ``$sp`` unbalanced (the executed path behaves,
+                      so the program still halts — only the *proof*
+                      is impossible).
+``indirect-call``     a ``jsr`` through a register: the call graph is
+                      incomplete and no depth bound can be claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Program
+from repro.lang.codegen import CodegenOptions, compile_program
+from repro.trace.columnar import ColumnarTrace
+
+_DEEP_RECURSION = """
+int sum_to(int n) {
+    if (n < 1) { return 0; }
+    return n + sum_to(n - 1);
+}
+
+int main() {
+    print(sum_to(64));
+    return 0;
+}
+"""
+
+_MUTUAL_RECURSION = """
+int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+
+int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+
+int main() {
+    print(is_even(40));
+    print(is_odd(17));
+    return 0;
+}
+"""
+
+# A local's address laundered into a global integer: every later
+# ``leak[0]`` access aliases the frame slot through memory the frame
+# tracking cannot see.  (MiniC has no pointer globals, but ints and
+# pointers interconvert freely.)
+_SP_ESCAPE = """
+int leak;
+
+int poke() {
+    leak[0] = leak[0] + 41;
+    return leak[0];
+}
+
+int main() {
+    int x = 1;
+    leak = &x;
+    print(poke());
+    print(x);
+    return 0;
+}
+"""
+
+# main allocates a 16-byte frame but stores at +24($sp): 8 bytes past
+# the frame top, inside the caller's frame region.  The emulator's
+# sparse memory happily takes the write (it lands above STACK_BASE),
+# so the program runs to completion — only the certificate must object.
+_FRAME_OVERFLOW = """
+.text
+main:
+    lda   sp, -16(sp)
+    lda   t0, 7(zero)
+    stq   t0, 0(sp)
+    stq   t0, 24(sp)
+    ldq   v0, 0(sp)
+    lda   sp, 16(sp)
+    ret
+"""
+
+# The a0 != 0 path deallocates only half the frame before returning:
+# statically reachable, so no LIFO proof exists.  Execution enters
+# with a0 = 0 and takes the balanced path, so the program halts
+# cleanly — the violation is a static counterexample, not a crash.
+_LIFO_VIOLATION = """
+.text
+main:
+    lda   sp, -32(sp)
+    stq   ra, 0(sp)
+    bne   a0, main$skew
+    ldq   ra, 0(sp)
+    lda   sp, 32(sp)
+    ret
+main$skew:
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+"""
+
+# ``jsr`` through t0.  The target address is helper's absolute text
+# address: TEXT_BASE (0x1000) + 4 * 7 (main has seven instructions and
+# helper follows immediately).
+_INDIRECT_CALL = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    lda   t0, 4124(zero)
+    jsr   t0
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+helper:
+    lda   v0, 7(zero)
+    ret
+"""
+
+
+@dataclass(frozen=True)
+class AdversarialProgram:
+    """One contract-violating program plus the flags it must earn."""
+
+    name: str
+    description: str
+    kind: str  # "minic" | "asm"
+    source: str
+    #: flag kinds the certifier must raise (subset check)
+    expected_flags: Tuple[str, ...]
+    #: does the program still run to a clean halt on the emulator?
+    runs: bool = True
+
+    def program(self, options: Optional[CodegenOptions] = None) -> Program:
+        if self.kind == "minic":
+            return compile_program(self.source, options)
+        return assemble(self.source)
+
+    def run(
+        self,
+        max_instructions: Optional[int] = 1_000_000,
+        trace_sink=None,
+        options: Optional[CodegenOptions] = None,
+    ) -> Machine:
+        machine = Machine(self.program(options))
+        machine.run(max_instructions=max_instructions,
+                    trace_sink=trace_sink)
+        return machine
+
+    def trace(
+        self,
+        max_instructions: Optional[int] = 1_000_000,
+        options: Optional[CodegenOptions] = None,
+    ) -> ColumnarTrace:
+        trace = ColumnarTrace()
+        self.run(max_instructions=max_instructions, trace_sink=trace,
+                 options=options)
+        return trace
+
+
+ADVERSARIAL = (
+    AdversarialProgram(
+        name="deep-recursion",
+        description="self-recursive call chain (no static depth bound)",
+        kind="minic",
+        source=_DEEP_RECURSION,
+        expected_flags=("unbounded-depth",),
+    ),
+    AdversarialProgram(
+        name="mutual-recursion",
+        description="two-function recursion cycle (SCC of size 2)",
+        kind="minic",
+        source=_MUTUAL_RECURSION,
+        expected_flags=("unbounded-depth",),
+    ),
+    AdversarialProgram(
+        name="sp-escape",
+        description="frame-slot address stored to a global (unclean)",
+        kind="minic",
+        source=_SP_ESCAPE,
+        expected_flags=("unclean-escape",),
+    ),
+    AdversarialProgram(
+        name="frame-overflow",
+        description="store through $sp past the frame top",
+        kind="asm",
+        source=_FRAME_OVERFLOW,
+        expected_flags=("lifo-violation",),
+    ),
+    AdversarialProgram(
+        name="lifo-violation",
+        description="reachable return path with unbalanced $sp",
+        kind="asm",
+        source=_LIFO_VIOLATION,
+        expected_flags=("lifo-violation",),
+    ),
+    AdversarialProgram(
+        name="indirect-call",
+        description="jsr through a register (incomplete call graph)",
+        kind="asm",
+        source=_INDIRECT_CALL,
+        expected_flags=("unknown-callee",),
+    ),
+)
+
+
+def adversarial_program(name: str) -> AdversarialProgram:
+    for member in ADVERSARIAL:
+        if member.name == name:
+            return member
+    from repro.errors import UsageError
+
+    known = ", ".join(member.name for member in ADVERSARIAL)
+    raise UsageError(f"unknown adversarial program {name!r} (known: {known})")
+
+
+__all__ = ["ADVERSARIAL", "AdversarialProgram", "adversarial_program"]

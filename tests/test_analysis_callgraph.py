@@ -1,0 +1,171 @@
+"""Call-graph construction, SCC condensation, and witness helpers."""
+
+import pytest
+
+from repro.analysis import build_call_graph, build_cfg
+from repro.isa import assemble
+from repro.lang import compile_program
+
+CHAIN = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   middle
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+middle:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   leaf
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+leaf:
+    lda   v0, 7(zero)
+    ret
+orphan:
+    ret
+"""
+
+SELF_RECURSIVE = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   main
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+"""
+
+MUTUAL = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   even
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+even:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   odd
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+odd:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    bsr   even
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+"""
+
+INDIRECT = """
+.text
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    lda   t0, 4124(zero)
+    jsr   t0
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    ret
+helper:
+    lda   v0, 7(zero)
+    ret
+"""
+
+
+class TestCallGraphStructure:
+    def test_chain_edges_and_root(self):
+        graph = build_call_graph(assemble(CHAIN))
+        assert graph.root == "main"
+        assert graph.callees("main") == {"middle"}
+        assert graph.callees("middle") == {"leaf"}
+        assert graph.callees("leaf") == set()
+        assert not graph.unknown_callers
+        assert not graph.recursive
+
+    def test_reachability_excludes_orphans(self):
+        graph = build_call_graph(assemble(CHAIN))
+        assert graph.reachable() == {"main", "middle", "leaf"}
+        assert "orphan" not in graph.reachable()
+
+    def test_sccs_bottom_up(self):
+        graph = build_call_graph(assemble(CHAIN))
+        order = {name: i for i, component in enumerate(graph.sccs)
+                 for name in component}
+        # Callees must be condensed before their callers.
+        assert order["leaf"] < order["middle"] < order["main"]
+
+    def test_call_path_is_shortest(self):
+        graph = build_call_graph(assemble(CHAIN))
+        assert graph.call_path("leaf") == ["main", "middle", "leaf"]
+        assert graph.call_path("main") == ["main"]
+        assert graph.call_path("orphan") is None
+
+    def test_transitive_callees(self):
+        graph = build_call_graph(assemble(CHAIN))
+        assert graph.transitive_callees("main") == {"middle", "leaf"}
+        assert graph.transitive_callees("leaf") == set()
+
+    def test_accepts_program_or_cfg(self):
+        program = assemble(CHAIN)
+        from_program = build_call_graph(program)
+        from_cfg = build_call_graph(build_cfg(program))
+        assert from_program.edges == from_cfg.edges
+
+
+class TestRecursionDetection:
+    def test_self_recursion(self):
+        graph = build_call_graph(assemble(SELF_RECURSIVE))
+        assert graph.is_recursive("main")
+        assert graph.recursion_cycle("main") == ["main", "main"]
+
+    def test_mutual_recursion_scc(self):
+        graph = build_call_graph(assemble(MUTUAL))
+        assert graph.recursive == {"even", "odd"}
+        assert not graph.is_recursive("main")
+        cycle = graph.recursion_cycle("even")
+        assert cycle[0] == cycle[-1] == "even"
+        assert "odd" in cycle
+        # The cycle must follow real edges.
+        for caller, callee in zip(cycle, cycle[1:]):
+            assert callee in graph.callees(caller)
+
+    def test_non_recursive_has_no_cycle(self):
+        graph = build_call_graph(assemble(CHAIN))
+        assert graph.recursion_cycle("main") is None
+
+    def test_minic_recursion_detected(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { print(fib(10)); return 0; }
+        """
+        graph = build_call_graph(compile_program(source))
+        assert graph.is_recursive("fib")
+        assert not graph.is_recursive("main")
+
+
+class TestIndirectCalls:
+    def test_jsr_marks_unknown_caller(self):
+        graph = build_call_graph(assemble(INDIRECT))
+        assert "main" in graph.unknown_callers
+        sites = graph.sites["main"]
+        assert any(site.is_indirect for site in sites)
+        # The named-edge set stays a lower bound.
+        assert graph.callees("main") == set()
+
+    def test_direct_sites_record_callee(self):
+        graph = build_call_graph(assemble(CHAIN))
+        (site,) = graph.sites["main"]
+        assert site.callee == "middle"
+        assert not site.is_indirect

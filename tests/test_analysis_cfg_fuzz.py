@@ -1,0 +1,201 @@
+"""Hypothesis fuzz: CFG + call-graph construction off the happy path.
+
+The generator builds structurally adversarial assembly — unreachable
+blocks, irreducible loops (two branch entries into the same loop
+body), indirect jumps/calls, cross-function escaping branches, and
+functions that fall off their end — and checks that the whole static
+stack (CFG reconstruction, call-graph condensation, interprocedural
+summaries, certification) never crashes and always upholds its
+structural invariants.  PR-1 fuzzing only covered straight-line MiniC
+output; this covers the graphs the certifier must survive.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import build_call_graph, build_cfg, summarize_program
+from repro.analysis.certify import certify_program
+from repro.isa import assemble
+
+_FUNCTION_NAMES = ("main", "alpha", "beta", "gamma")
+
+
+@st.composite
+def _function_body(draw, name, function_names):
+    """One function's instruction lines, with local labels L0..L3."""
+    lines = [f"{name}:"]
+    labels = [f"{name}$l{i}" for i in range(draw(st.integers(1, 3)))]
+    defined = set()
+    has_frame = draw(st.booleans())
+    if has_frame:
+        lines.append("    lda   sp, -16(sp)")
+        lines.append("    stq   ra, 0(sp)")
+
+    def fresh_label(draw):
+        """A local label not yet defined, or None if all are taken."""
+        free = [label for label in labels if label not in defined]
+        if not free:
+            return None
+        label = draw(st.sampled_from(free))
+        defined.add(label)
+        return label
+
+    n_segments = draw(st.integers(1, 3))
+    for segment in range(n_segments):
+        kind = draw(st.sampled_from(
+            ("plain", "branch", "loop", "irreducible", "call",
+             "indirect-jump", "indirect-call", "unreachable")
+        ))
+        if kind == "branch":
+            target = draw(st.sampled_from(labels))
+            lines.append(f"    beq   t0, {target}")
+            lines.append("    addq  t1, 1, t1")
+        elif kind == "loop":
+            head = fresh_label(draw)
+            if head is None:
+                kind = "plain"
+            else:
+                lines.append(f"{head}:")
+                lines.append("    subq  t0, 1, t0")
+                lines.append(f"    bne   t0, {head}")
+        elif kind == "irreducible":
+            # Two distinct entries into the same "loop body" label:
+            # classic irreducible shape.
+            body = fresh_label(draw)
+            if body is None:
+                kind = "plain"
+            else:
+                lines.append(f"    beq   t1, {body}")
+                lines.append("    addq  t2, 1, t2")
+                lines.append(f"    bne   t2, {body}")
+                lines.append(f"{body}:")
+                lines.append("    addq  t3, 1, t3")
+        elif kind == "call":
+            callee = draw(st.sampled_from(function_names))
+            lines.append(f"    bsr   {callee}")
+        elif kind == "indirect-jump":
+            lines.append("    lda   t5, 4096(zero)")
+            lines.append("    jmp   t5")
+        elif kind == "indirect-call":
+            lines.append("    lda   t5, 4096(zero)")
+            lines.append("    jsr   t5")
+        else:  # unreachable block after an unconditional br
+            join = fresh_label(draw)
+            if join is None:
+                kind = "plain"
+            else:
+                lines.append(f"    br    {join}")
+                lines.append("    addq  t4, 1, t4")  # dead
+                lines.append(f"{join}:")
+        if kind == "plain":
+            lines.append("    addq  t0, 1, t0")
+
+    # Define any still-undefined local labels so assembly succeeds.
+    for label in labels:
+        if label not in defined:
+            lines.append(f"{label}:")
+    if has_frame:
+        lines.append("    ldq   ra, 0(sp)")
+        lines.append("    lda   sp, 16(sp)")
+    if draw(st.booleans()):
+        lines.append("    ret")
+    # else: fall through off the end (fallthrough-exit anomaly) or
+    # into the next function.
+    return lines
+
+
+@st.composite
+def _program_source(draw):
+    count = draw(st.integers(1, 3))
+    names = list(_FUNCTION_NAMES[:count])
+    lines = [".text"]
+    for name in names:
+        lines.extend(draw(_function_body(name, names)))
+    # A final ret so the last function cannot run off the program end.
+    lines.append("    ret")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=120, deadline=None)
+@given(_program_source())
+def test_static_stack_never_crashes(source):
+    program = assemble(source)
+    pcfg = build_cfg(program)
+    graph = build_call_graph(pcfg)
+    summary = summarize_program(pcfg, graph)
+    certificate = certify_program(program)
+
+    # --- CFG invariants -------------------------------------------------
+    for function in pcfg.functions.values():
+        ids = {block.id for block in function.blocks}
+        for block in function.blocks:
+            # successor/predecessor symmetry, edges stay in-function
+            for successor in block.successors:
+                assert successor in ids
+                successor_block = function.blocks[successor]
+                assert block.id in successor_block.predecessors
+            for predecessor in block.predecessors:
+                assert predecessor in ids
+                assert block.id in (
+                    function.blocks[predecessor].successors
+                )
+            # blocks tile the function body without overlap
+            assert function.start <= block.start <= block.end
+            assert block.end <= function.end
+        covered = sorted(
+            index
+            for block in function.blocks
+            for index in block.indices()
+        )
+        assert covered == list(range(function.start, function.end))
+        # reverse postorder covers each reachable block exactly once
+        rpo_ids = [block.id for block in function.reverse_postorder()]
+        assert len(rpo_ids) == len(set(rpo_ids))
+        assert set(rpo_ids) <= ids
+
+    # --- call-graph invariants -----------------------------------------
+    all_names = set(pcfg.functions)
+    scc_members = [name for component in graph.sccs for name in component]
+    assert sorted(scc_members) == sorted(all_names)  # exact partition
+    for name, component_id in graph.scc_of.items():
+        assert name in graph.sccs[component_id]
+    for caller, callees in graph.edges.items():
+        assert caller in all_names
+        assert callees <= all_names
+    # bottom-up: cross-SCC edges always point to earlier components
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            if graph.scc_of[callee] != graph.scc_of[caller]:
+                assert graph.scc_of[callee] < graph.scc_of[caller]
+    for name in graph.recursive:
+        component = graph.sccs[graph.scc_of[name]]
+        assert len(component) > 1 or name in graph.edges.get(name, set())
+        cycle = graph.recursion_cycle(name)
+        assert cycle is not None and cycle[0] == cycle[-1] == name
+        for caller, callee in zip(cycle, cycle[1:]):
+            assert callee in graph.callees(caller)
+    live = graph.reachable()
+    assert live <= all_names
+    for name in live:
+        path = graph.call_path(name)
+        assert path is not None and path[-1] == name
+        assert path[0] == graph.root
+        for caller, callee in zip(path, path[1:]):
+            assert callee in graph.callees(caller)
+
+    # --- summary / certificate invariants ------------------------------
+    assert set(summary.functions) == all_names
+    for function_summary in summary.functions.values():
+        assert function_summary.local_depth >= 0
+        if function_summary.worst_depth is not None:
+            assert function_summary.worst_depth >= (
+                function_summary.local_depth
+            )
+            assert not function_summary.recursive
+    assert set(certificate.verdicts) == all_names
+    bound, _reason = summary.program_depth()
+    assert bound == certificate.depth_bound
+    for flag in certificate.flags:
+        assert flag.kind in {
+            "lifo-violation", "structural", "unclean-escape",
+            "unbounded-depth", "unknown-callee", "untracked-sp",
+        }

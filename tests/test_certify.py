@@ -1,0 +1,313 @@
+"""Whole-program certifier: summaries, verdicts, and mutation catches."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.analysis import (
+    SLOT_LOCAL,
+    SLOT_SHARED,
+    SLOT_UNCLEAN,
+    build_call_graph,
+    certify_program,
+    render_certificates,
+    summarize_program,
+)
+from repro.isa import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.registers import SP
+from repro.lang import compile_program
+from repro.workloads import ALL_BENCHMARKS, workload
+from repro.workloads.adversarial import ADVERSARIAL, adversarial_program
+
+#: Verified recursive registry workloads (crafty, eon, gcc, parser).
+RECURSIVE_BENCHMARKS = {"186.crafty", "252.eon", "176.gcc", "197.parser"}
+
+LEAF_PAIR = """
+.text
+main:
+    lda   sp, -32(sp)
+    stq   ra, 0(sp)
+    bsr   leaf
+    ldq   ra, 0(sp)
+    lda   sp, 32(sp)
+    ret
+leaf:
+    lda   sp, -16(sp)
+    stq   t0, 0(sp)
+    ldq   t1, 0(sp)
+    lda   sp, 16(sp)
+    ret
+"""
+
+
+class TestSummaries:
+    def test_depth_recurrence_exact(self):
+        summary = summarize_program(assemble(LEAF_PAIR))
+        assert summary.functions["leaf"].worst_depth == 16
+        assert summary.functions["leaf"].local_depth == 16
+        # main: 32 locally, the call site sits at $sp = -32, leaf adds 16.
+        assert summary.functions["main"].worst_depth == 48
+        assert summary.program_depth() == (48, "")
+
+    def test_net_sp_balanced(self):
+        summary = summarize_program(assemble(LEAF_PAIR))
+        assert summary.functions["main"].net_sp == 0
+        assert summary.functions["leaf"].net_sp == 0
+
+    def test_clobber_closure_includes_callees(self):
+        summary = summarize_program(assemble(LEAF_PAIR))
+        leaf = summary.functions["leaf"]
+        main = summary.functions["main"]
+        assert leaf.own_clobbered <= main.clobbered
+
+    def test_recursion_has_no_bound(self):
+        source = """
+        int f(int n) { if (n < 1) { return 0; } return f(n - 1); }
+        int main() { print(f(3)); return 0; }
+        """
+        summary = summarize_program(compile_program(source))
+        assert summary.functions["f"].worst_depth is None
+        assert summary.functions["f"].depth_reason == "recursion"
+        bound, reason = summary.program_depth()
+        assert bound is None and reason == "recursion"
+
+    def test_shared_slot_classified(self):
+        source = """
+        int bump(int p) { p[0] = p[0] + 1; return 0; }
+        int main() { int x = 5; bump(&x); print(x); return 0; }
+        """
+        summary = summarize_program(compile_program(source))
+        classes = summary.functions["main"].slot_classes.values()
+        assert SLOT_SHARED in classes
+        assert SLOT_UNCLEAN not in classes
+        # The callee receives and dereferences a caller stack address.
+        assert summary.functions["bump"].receives_stack
+        assert summary.functions["bump"].gpr_access
+
+    def test_local_escape_stays_local(self):
+        source = """
+        int main() {
+            int x = 5;
+            int p;
+            p = &x;
+            p[0] = 9;
+            print(x);
+            return 0;
+        }
+        """
+        summary = summarize_program(compile_program(source))
+        classes = summary.functions["main"].slot_classes
+        assert SLOT_UNCLEAN not in classes.values()
+        assert SLOT_LOCAL in classes.values() or SLOT_SHARED not in (
+            classes.values()
+        )
+
+
+class TestRegistryCertificates:
+    @pytest.fixture(scope="class")
+    def certificates(self):
+        return {
+            name: certify_program(
+                workload(name).program(), name=workload(name).full_name
+            )
+            for name in ALL_BENCHMARKS
+        }
+
+    def test_all_thirteen_certify_without_hard_flags(self, certificates):
+        assert len(certificates) == 13
+        for certificate in certificates.values():
+            assert certificate.ok, certificate.summary_line()
+            assert certificate.lifo_ok
+
+    def test_recursive_workloads_unbounded_with_cycle(self, certificates):
+        for name, certificate in certificates.items():
+            if name in RECURSIVE_BENCHMARKS:
+                assert certificate.depth_bound is None, name
+                assert certificate.depth_reason == "recursion"
+                (flag,) = [
+                    f for f in certificate.flags
+                    if f.kind == "unbounded-depth"
+                ]
+                # Witness: entry-rooted path ending in a cycle.
+                assert flag.path[0] == certificate.summary.root
+                assert flag.path[-1] in certificate.summary.graph.recursive
+            else:
+                assert certificate.depth_bound is not None, name
+                assert certificate.depth_bound > 0
+                assert certificate.depth_chain[0] == (
+                    certificate.summary.root
+                )
+
+    def test_no_unclean_slots_in_registry(self, certificates):
+        for name, certificate in certificates.items():
+            for verdict in certificate.verdicts.values():
+                assert SLOT_UNCLEAN not in verdict.slot_classes.values(), (
+                    name, verdict.name,
+                )
+
+    def test_render_text_and_footer(self, certificates):
+        text = render_certificates(list(certificates.values()))
+        assert "13 program(s) certified" in text
+        assert "FLAGGED" not in text
+
+    def test_json_payload_shape(self, certificates):
+        results = api.certify("gzip")
+        payload = json.loads(api.certify_json(results))
+        assert payload["schema_version"] == api.SCHEMA_VERSION
+        assert payload["ok"] is True
+        (entry,) = payload["programs"]
+        assert entry["name"] == "gzip.graphic"
+        assert entry["depth_bound"] > 0
+        assert entry["validation"] is None
+        assert {"flags", "verdicts", "live", "depth_chain"} <= set(entry)
+
+
+class TestAdversarialDetection:
+    @pytest.mark.parametrize(
+        "member", ADVERSARIAL, ids=[m.name for m in ADVERSARIAL]
+    )
+    def test_every_member_flagged_with_path(self, member):
+        certificate = certify_program(member.program(), name=member.name)
+        kinds = {flag.kind for flag in certificate.flags}
+        assert set(member.expected_flags) <= kinds, member.name
+        for flag in certificate.flags:
+            if flag.kind in member.expected_flags:
+                assert flag.path, (member.name, flag.kind)
+
+    @pytest.mark.parametrize(
+        "member", ADVERSARIAL, ids=[m.name for m in ADVERSARIAL]
+    )
+    def test_every_member_still_halts(self, member):
+        machine = member.run()
+        assert machine.halted, member.name
+
+    def test_hard_members_fail_certification(self):
+        for name in ("sp-escape", "frame-overflow", "lifo-violation"):
+            member = adversarial_program(name)
+            certificate = certify_program(member.program(), name=name)
+            assert not certificate.ok, name
+
+    def test_soft_members_pass_certification(self):
+        for name in ("deep-recursion", "mutual-recursion", "indirect-call"):
+            member = adversarial_program(name)
+            certificate = certify_program(member.program(), name=name)
+            assert certificate.ok, name
+            assert certificate.depth_bound is None
+
+    def test_sp_escape_slot_classified_unclean(self):
+        member = adversarial_program("sp-escape")
+        certificate = certify_program(member.program(), name=member.name)
+        main = certificate.verdicts["main"]
+        assert SLOT_UNCLEAN in main.slot_classes.values()
+        assert main.integrity == "unknown"
+
+    def test_unknown_name_raises(self):
+        from repro.errors import UsageError
+
+        with pytest.raises(UsageError):
+            adversarial_program("nonesuch")
+
+
+class TestMutationFlipsVerdict:
+    """S6: seeded faults must flip the corresponding verdict."""
+
+    def test_dropped_epilogue_flips_lifo(self):
+        program = workload("gzip").program()
+        assert certify_program(program).ok
+        for index, instruction in enumerate(program.instructions):
+            if instruction.is_sp_adjust and instruction.imm > 0:
+                program.instructions[index] = Instruction("nop")
+                break
+        certificate = certify_program(program, name="gzip-mutated")
+        assert not certificate.ok
+        assert not certificate.lifo_ok
+        flags = [
+            f for f in certificate.flags if f.kind == "lifo-violation"
+        ]
+        assert flags and flags[0].path
+
+    def test_widened_frames_raise_depth_bound(self):
+        program = workload("mcf").program()
+        baseline = certify_program(program).depth_bound
+        assert baseline is not None
+        for index, instruction in enumerate(program.instructions):
+            if instruction.is_sp_adjust:
+                delta = -256 if instruction.imm < 0 else 256
+                program.instructions[index] = Instruction(
+                    "lda", rd=SP, rb=SP, imm=instruction.imm + delta
+                )
+        certificate = certify_program(program, name="mcf-widened")
+        # Both halves of every allocate/restore pair moved, so balance
+        # holds — only the bound verdict may (and must) move, upward.
+        assert certificate.lifo_ok
+        assert certificate.depth_bound is not None
+        assert certificate.depth_bound >= baseline + 256
+
+    def test_leaked_slot_address_flips_escape(self):
+        clean = """
+        int main() { int x = 1; print(x); return 0; }
+        """
+        leaky = """
+        int leak;
+        int main() { int x = 1; leak = &x; print(x); return 0; }
+        """
+        assert certify_program(compile_program(clean)).ok
+        certificate = certify_program(
+            compile_program(leaky), name="leaky"
+        )
+        assert not certificate.ok
+        kinds = {flag.kind for flag in certificate.flags}
+        assert "unclean-escape" in kinds
+
+
+@pytest.mark.lint
+class TestCertifyCLI:
+    def test_single_workload_text(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "gzip"]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out
+        assert "depth <= " in out
+
+    def test_adversarial_exits_one(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "--adversarial"]) == 1
+        out = capsys.readouterr().out
+        assert "FLAGGED" in out
+        assert "lifo-violation" in out
+
+    def test_conflicting_selectors_exit_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "gzip", "--all"]) == 2
+        assert main(["certify"]) == 2
+
+    def test_unknown_workload_exits_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "nonesuch"]) == 2
+
+    def test_json_schema_version(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "mcf", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == api.SCHEMA_VERSION
+
+    def test_asm_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "pair.s"
+        path.write_text(LEAF_PAIR)
+        assert main(["certify", "--asm", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "depth <= 48" in out
+
+    def test_missing_asm_file_exits_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "--asm", "/nonexistent.s"]) == 2

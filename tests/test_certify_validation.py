@@ -1,0 +1,128 @@
+"""Static-vs-dynamic cross-validation of every certificate.
+
+The acceptance contract of the certifier: on all 13 registry
+workloads (full runs, no instruction cap) the observed maximum stack
+depth never exceeds the certified bound and every observed
+computed-base stack access happens in a function the certificate
+names; on the adversarial family the same soundness holds *and* every
+member is flagged.
+"""
+
+import pytest
+
+from repro.harness.certification import (
+    render_validations,
+    validate_adversarial,
+    validate_certificate,
+    validate_workload,
+)
+from repro.trace.columnar import ColumnarTrace
+from repro.workloads import ALL_BENCHMARKS, workload
+from repro.workloads.adversarial import ADVERSARIAL
+
+
+@pytest.fixture(scope="module")
+def registry_validations():
+    """(certificate, validation) per benchmark, full runs, computed once."""
+    return {
+        benchmark_name: validate_workload(workload(benchmark_name))
+        for benchmark_name in ALL_BENCHMARKS
+    }
+
+
+class TestRegistryValidation:
+    @pytest.mark.parametrize("benchmark_name", ALL_BENCHMARKS)
+    def test_full_run_stays_inside_certificate(
+        self, benchmark_name, registry_validations
+    ):
+        certificate, validation = registry_validations[benchmark_name]
+        assert validation.halted, benchmark_name
+        assert validation.depth_ok, validation.render()
+        assert validation.escapes_ok, validation.render()
+        assert validation.ok
+        if certificate.depth_bound is not None:
+            assert validation.observed_depth <= certificate.depth_bound
+        # Observed computed-base functions ⊆ certified set, verbatim.
+        assert set(validation.observed_gpr) <= set(validation.certified_gpr)
+
+    def test_bounds_are_tight_somewhere(self, registry_validations):
+        # The recurrence is exact for non-recursive programs: at least
+        # one workload must *attain* its certified bound, else the
+        # bound computation is vacuously loose.
+        attained = sum(
+            1
+            for certificate, validation in registry_validations.values()
+            if certificate.depth_bound is not None
+            and validation.observed_depth == certificate.depth_bound
+        )
+        assert attained >= 5, f"bound attained on only {attained} workloads"
+
+
+class TestAdversarialValidation:
+    @pytest.mark.parametrize(
+        "member", ADVERSARIAL, ids=[m.name for m in ADVERSARIAL]
+    )
+    def test_flagged_and_still_sound(self, member):
+        certificate, validation = validate_adversarial(member)
+        kinds = {flag.kind for flag in certificate.flags}
+        assert set(member.expected_flags) <= kinds, member.name
+        # Soundness holds even for contract breakers: the (possibly
+        # degraded) certificate claims must cover the observed run.
+        assert validation.ok, validation.render()
+
+
+class TestValidationMechanics:
+    def test_depth_violation_detected(self):
+        # Certify gzip but hand the validator a *forged* certificate
+        # with a too-small bound: validation must fail loudly.
+        work = workload("gzip")
+        from repro.harness.certification import certify_workload
+
+        certificate = certify_workload(work)
+        trace = ColumnarTrace()
+        work.run(trace_sink=trace)
+        certificate.depth_bound = 8  # forged
+        result = validate_certificate(certificate, trace)
+        assert not result.depth_ok
+        assert not result.ok
+        assert any("EXCEEDS" in note for note in result.notes)
+
+    def test_escape_violation_detected(self):
+        # Forge the verdicts so the certified gpr set is empty on a
+        # workload that demonstrably uses computed-base accesses.
+        work = workload("bzip2")
+        from repro.harness.certification import certify_workload
+
+        certificate = certify_workload(work)
+        assert certificate.gpr_functions()
+        trace = ColumnarTrace()
+        work.run(trace_sink=trace)
+        for verdict in certificate.verdicts.values():
+            object.__setattr__(verdict, "gpr_access", False)
+        result = validate_certificate(certificate, trace)
+        assert not result.escapes_ok
+        assert not result.ok
+
+    def test_empty_trace_validates(self):
+        from repro.analysis.certify import certify_program
+        from repro.isa import assemble
+
+        program = assemble(".text\nmain:\n    ret\n")
+        certificate = certify_program(program, name="trivial")
+        result = validate_certificate(certificate, ColumnarTrace())
+        assert result.ok
+        assert result.observed_depth == 0
+
+    def test_render_footer(self):
+        certificate, validation = validate_adversarial(ADVERSARIAL[0])
+        text = render_validations([validation])
+        assert "1 run(s) validated" in text
+        assert "all sound" in text
+
+    def test_api_validate_roundtrip(self):
+        from repro import api
+
+        (result,) = api.certify("mcf", validate=True)
+        assert result.validation is not None
+        assert result.validation.ok
+        assert result.ok

@@ -68,6 +68,7 @@ def test_docstrings_on_public_classes():
 # ---------------------------------------------------------------------------
 
 FACADE_SURFACE = {
+    "CertifyResult",
     "CompileOptions",
     "EXPERIMENT_NAMES",
     "ExperimentResult",
@@ -76,6 +77,8 @@ FACADE_SURFACE = {
     "RunResult",
     "SCHEMA_VERSION",
     "UsageError",
+    "certify",
+    "certify_json",
     "characterize",
     "compile_source",
     "experiment",
@@ -97,7 +100,8 @@ def test_facade_surface_pinned():
 
     for name in ("CompileOptions", "MachineSpec", "RunResult",
                  "SCHEMA_VERSION", "compile_source", "run_workload",
-                 "characterize", "simulate", "lint", "experiment"):
+                 "characterize", "simulate", "lint", "certify",
+                 "experiment"):
         assert name in repro.__all__, name
 
 
