@@ -1,69 +1,36 @@
 """Ablation — dynamic SVF disable (paper Section 3.3).
 
-"If shown to be necessary because of localized poor SVF performance,
-the SVF can be dynamically disabled for a period of time."  The
-controller watches the squash rate per instruction window and routes
-stack references back to the DL1 during a cooling-off period.  It
-should recover most of eon's squash losses *without* the no_squash
-recompilation, while leaving squash-free benchmarks untouched.
+``suites/adaptive.yaml`` sweeps the ``svf_adaptive`` toggle; this
+file asserts over the run-table rows that the controller recovers
+eon's squash losses without recompilation while leaving squash-free
+benchmarks untouched.
 """
 
-from repro.harness import percent, render_table
-from repro.uarch.config import table2_config
-from repro.uarch.pipeline import simulate
-from repro.workloads import cached_trace, workload
 
-BENCHMARKS = ["252.eon", "186.crafty", "176.gcc"]
-
-
-def run_ablation(window):
-    rows = []
-    base = table2_config(16)
-    for name in BENCHMARKS:
-        trace = cached_trace(workload(name), window)
-        baseline = simulate(trace, base)
-        plain = simulate(trace, base.with_svf(mode="svf", ports=2))
-        adaptive = simulate(
-            trace, base.with_svf(mode="svf", ports=2, adaptive=True)
-        )
-        rows.append(
-            (
-                name,
-                plain.speedup_over(baseline),
-                adaptive.speedup_over(baseline),
-                plain.svf_squashes,
-                adaptive.svf_squashes,
-                adaptive.extras.get("svf_disables", 0),
-            )
-        )
-    return rows
-
-
-def test_adaptive_disable(benchmark, emit, timing_window):
-    rows = benchmark.pedantic(
-        lambda: run_ablation(timing_window), rounds=1, iterations=1
+def test_adaptive_disable(benchmark, emit, timing_window, sweep_suite):
+    result = benchmark.pedantic(
+        lambda: sweep_suite("adaptive", timing_window),
+        rounds=1, iterations=1,
     )
-    emit(
-        "ablation_adaptive",
-        render_table(
-            ["Benchmark", "plain SVF", "adaptive", "squashes",
-             "sq (adaptive)", "disables"],
-            [(n, percent(p), percent(a), sq, asq, d)
-             for n, p, a, sq, asq, d in rows],
-            title="Ablation: dynamic SVF disable under squash storms",
-        ),
-    )
-    by_name = {row[0]: row for row in rows}
+    emit("ablation_adaptive", result.render_summary())
+    assert result.ok, [row.error for row in result.rows if not row.ok]
+
+    rows = {}
+    for row in result.rows:
+        rows[(row.workload, row.level("svf_adaptive"))] = row
+
     # eon: the adaptive controller must trigger and improve on plain.
-    _, eon_plain, eon_adaptive, eon_squash, _, eon_disables = by_name[
-        "252.eon"
-    ]
-    assert eon_squash > 0
-    assert eon_disables > 0
-    assert eon_adaptive >= eon_plain
+    eon_plain = rows[("252.eon", False)]
+    eon_adaptive = rows[("252.eon", True)]
+    assert eon_plain.metric("svf_squashes") > 0
+    assert eon_adaptive.metric("svf_disables") > 0
+    assert eon_adaptive.metric("speedup") >= eon_plain.metric("speedup")
     # Squash-free benchmarks are untouched by the controller.
     for name in ("186.crafty", "176.gcc"):
-        _, plain, adaptive, squashes, _, disables = by_name[name]
-        if squashes == 0:
-            assert disables == 0
-            assert abs(adaptive - plain) < 0.01
+        plain = rows[(name, False)]
+        adaptive = rows[(name, True)]
+        if plain.metric("svf_squashes") == 0:
+            assert adaptive.metric("svf_disables") == 0
+            assert abs(
+                adaptive.metric("speedup") - plain.metric("speedup")
+            ) < 0.01

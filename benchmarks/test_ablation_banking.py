@@ -1,63 +1,30 @@
 """Ablation — banked SVF vs true multiporting (paper Section 7).
 
-"The SVF is direct-mapped, can be single-ported, and can easily be
-banked."  Banking replaces expensive true ports with B single-ported
-banks selected by low-order address bits; same-cycle accesses to one
-bank serialize.  Consecutive frame slots map to different banks, so a
-modest number of banks should recover most of a true dual port's
-benefit at far lower cost.
+The non-product sweep (1/2 true ports plus 2/4/8 single-ported banks)
+lives in ``suites/banking.yaml`` as a union of grids; this file is a
+thin assert over its run-table rows.
 """
 
-from repro.harness import percent, render_table
-from repro.uarch.config import table2_config
-from repro.uarch.pipeline import simulate
-from repro.workloads import cached_trace, workload
 
-BENCHMARKS = ["186.crafty", "176.gcc", "175.vpr"]
-
-
-def run_ablation(window):
-    rows = []
-    base = table2_config(16)
-    for name in BENCHMARKS:
-        trace = cached_trace(workload(name), window)
-        baseline = simulate(trace, base)
-
-        def speedup(**svf_kwargs):
-            run = simulate(
-                trace, base.with_svf(mode="svf", no_squash=True,
-                                     **svf_kwargs)
-            )
-            return run.speedup_over(baseline)
-
-        rows.append(
-            (
-                name,
-                speedup(ports=1),
-                speedup(banks=2, ports=1),
-                speedup(banks=4, ports=1),
-                speedup(banks=8, ports=1),
-                speedup(ports=2),
-            )
-        )
-    return rows
-
-
-def test_banking_ablation(benchmark, emit, timing_window):
-    rows = benchmark.pedantic(
-        lambda: run_ablation(timing_window), rounds=1, iterations=1
+def test_banking_ablation(benchmark, emit, timing_window, sweep_suite):
+    result = benchmark.pedantic(
+        lambda: sweep_suite("banking", timing_window),
+        rounds=1, iterations=1,
     )
-    emit(
-        "ablation_banking",
-        render_table(
-            ["Benchmark", "1 true port", "2 banks", "4 banks", "8 banks",
-             "2 true ports"],
-            [(n, *[percent(v) for v in vals]) for n, *vals in
-             [(r[0], *r[1:]) for r in rows]],
-            title="Ablation: banked SVF vs true multiporting (16-wide)",
-        ),
-    )
-    for name, one_port, banks2, banks4, banks8, two_ports in rows:
+    emit("ablation_banking", result.render_summary())
+    assert result.ok, [row.error for row in result.rows if not row.ok]
+
+    speedups = {}
+    for row in result.rows:
+        key = (row.level("svf_ports"), row.level("svf_banks"))
+        speedups[(row.workload, key)] = row.metric("speedup")
+
+    for name in ("186.crafty", "176.gcc", "175.vpr"):
+        one_port = speedups[(name, (1, 0))]
+        two_ports = speedups[(name, (2, 0))]
+        banks2 = speedups[(name, (1, 2))]
+        banks4 = speedups[(name, (1, 4))]
+        banks8 = speedups[(name, (1, 8))]
         # Banking beats a single true port...
         assert banks4 >= one_port, name
         # ...and more banks never hurt.

@@ -1,64 +1,29 @@
 """Ablation — valid/dirty-bit granularity (paper Section 3.3).
 
-The paper: "The granularity of these status bits is most naturally the
-smallest data type that is frequently used.  For the Alpha
-architecture, this is 64 bits.  If the granularity is larger than
-this, there will be more memory traffic."  This ablation measures SVF
-traffic with 8-, 16- and 32-byte granules.
+``suites/granularity.yaml`` declares the traffic-kind sweep (each
+cell walks the functional trace through a stand-alone SVF at one
+granule size); this file asserts the paper's shape over the run-table
+rows: coarser granules must not reduce quad-word traffic.
 """
 
-from repro.core.svf import StackValueFile
-from repro.harness import render_table
-from repro.trace.regions import is_stack_address
-from repro.workloads import cached_trace, workload
 
-BENCHMARKS = ["186.crafty", "176.gcc", "252.eon", "300.twolf"]
-
-
-def traffic_at_granularity(trace, granularity):
-    svf = StackValueFile(capacity_bytes=8192, granularity=granularity)
-    sp_seen = False
-    for record in trace:
-        if not sp_seen:
-            svf.update_sp(record.sp_value)
-            sp_seen = True
-        if record.is_mem and is_stack_address(record.addr):
-            svf.access(record.addr, record.size, record.is_store)
-        if record.sp_update:
-            svf.update_sp(record.sp_value)
-    return svf.qw_in + svf.qw_out
-
-
-def run_ablation(window):
-    rows = []
-    for name in BENCHMARKS:
-        trace = cached_trace(workload(name), window)
-        rows.append(
-            (name, *[
-                traffic_at_granularity(trace, granularity)
-                for granularity in (8, 16, 32)
-            ])
-        )
-    return rows
-
-
-def test_granularity_ablation(benchmark, emit, functional_window):
-    rows = benchmark.pedantic(
-        lambda: run_ablation(functional_window), rounds=1, iterations=1
+def test_granularity_ablation(
+    benchmark, emit, functional_window, sweep_suite
+):
+    result = benchmark.pedantic(
+        lambda: sweep_suite("granularity", functional_window),
+        rounds=1, iterations=1,
     )
-    emit(
-        "ablation_granularity",
-        render_table(
-            ["Benchmark", "8B granule", "16B granule", "32B granule"],
-            rows,
-            title="Ablation: SVF traffic (quad-words) vs status-bit "
-            "granularity",
-        ),
-    )
-    total = [sum(row[i] for row in rows) for i in (1, 2, 3)]
-    assert total[0] <= total[1] <= total[2], (
+    emit("ablation_granularity", result.render_summary())
+    assert result.ok, [row.error for row in result.rows if not row.ok]
+    assert result.kind == "traffic"
+
+    totals = {8: 0, 16: 0, 32: 0}
+    for row in result.rows:
+        totals[row.level("svf_granularity")] += row.metric("qw_total")
+    assert totals[8] <= totals[16] <= totals[32], (
         "coarser granularity must not reduce traffic"
     )
-    assert total[2] > total[0], (
+    assert totals[32] > totals[8], (
         "32-byte granules should cost measurably more traffic"
     )

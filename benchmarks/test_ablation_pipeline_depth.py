@@ -1,54 +1,35 @@
 """Ablation — pipeline depth (the paper's closing claim).
 
-"For a deeper pipelined processors, our technique should deliver
-increasing performance gain as the value of early address computation
-is increased." (paper Section 7.)  Deep pipelines place address
-generation several stages past dispatch (the register-tracking work
-the paper cites measured 8 stages between decode and execution on a
-deep design); morphed SVF references resolve their address in decode
-and skip those stages.
+``suites/pipeline_depth.yaml`` sweeps the machine-level ``agu_depth``
+axis, which moves the svf-less baseline and the SVF variant together
+(the sweep engine's baseline rule); this file asserts the closing
+claim over the run-table rows: deeper pipelines increase the SVF's
+value.
 """
 
-from repro.harness import percent, render_table
-from repro.uarch.config import table2_config
-from repro.uarch.pipeline import simulate
-from repro.workloads import cached_trace, workload
-
-BENCHMARKS = ["186.crafty", "176.gcc", "300.twolf", "175.vpr"]
 DEPTHS = (0, 4, 8)
 
 
-def run_ablation(window):
-    rows = []
-    for name in BENCHMARKS:
-        trace = cached_trace(workload(name), window)
-        speedups = []
-        for depth in DEPTHS:
-            base = table2_config(16, agu_depth=depth)
-            baseline = simulate(trace, base)
-            svf = simulate(trace, base.with_svf(mode="svf", ports=2))
-            speedups.append(svf.speedup_over(baseline))
-        rows.append((name, speedups))
-    return rows
-
-
-def test_pipeline_depth_ablation(benchmark, emit, timing_window):
-    rows = benchmark.pedantic(
-        lambda: run_ablation(timing_window), rounds=1, iterations=1
+def test_pipeline_depth_ablation(
+    benchmark, emit, timing_window, sweep_suite
+):
+    result = benchmark.pedantic(
+        lambda: sweep_suite("pipeline_depth", timing_window),
+        rounds=1, iterations=1,
     )
-    emit(
-        "ablation_pipeline_depth",
-        render_table(
-            ["Benchmark"] + [f"AGU depth {d}" for d in DEPTHS],
-            [(n, *[percent(v) for v in s]) for n, s in rows],
-            title="Ablation: SVF (2+2) speedup vs address-generation "
-            "pipeline depth (16-wide)",
-        ),
-    )
-    shallow = sum(s[0] for _, s in rows) / len(rows)
-    deep = sum(s[-1] for _, s in rows) / len(rows)
+    emit("ablation_pipeline_depth", result.render_summary())
+    assert result.ok, [row.error for row in result.rows if not row.ok]
+
+    by_name = {}
+    for row in result.rows:
+        by_name.setdefault(row.workload, {})[
+            row.level("agu_depth")
+        ] = row.metric("speedup")
+
+    shallow = sum(s[DEPTHS[0]] for s in by_name.values()) / len(by_name)
+    deep = sum(s[DEPTHS[-1]] for s in by_name.values()) / len(by_name)
     assert deep > shallow, (
         "deeper pipelines should increase the SVF's value"
     )
-    for name, speedups in rows:
-        assert speedups[-1] >= speedups[0] - 0.02, name
+    for name, speedups in by_name.items():
+        assert speedups[DEPTHS[-1]] >= speedups[DEPTHS[0]] - 0.02, name

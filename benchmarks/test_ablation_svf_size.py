@@ -1,59 +1,29 @@
 """Ablation — SVF capacity sensitivity (2/4/8 KB performance).
 
-Table 3 sweeps capacity for *traffic*; this ablation sweeps it for
-*performance*: an adequately sized SVF (Section 2's conclusion: 8 KB
-or less captures almost all stack references) leaves little on the
-table, while an undersized one forfeits morphing coverage.
+The sweep itself is declarative now: ``suites/svf_size.yaml`` names
+the workloads, the capacity grid and the isolation knobs (16 ports,
+no_squash); this file is a thin assert over the run-table rows the
+sweep engine produces.  See the descriptor for the experimental
+rationale.
 """
 
-from repro.harness import percent, render_table
-from repro.uarch.config import table2_config
-from repro.uarch.pipeline import simulate
-from repro.workloads import cached_trace, workload
 
-BENCHMARKS = ["186.crafty", "176.gcc", "252.eon", "253.perlbmk"]
-SIZES = (1024, 2048, 4096, 8192)
-
-
-def run_ablation(window):
-    rows = []
-    base = table2_config(16)
-    for name in BENCHMARKS:
-        trace = cached_trace(workload(name), window)
-        baseline = simulate(trace, base)
-        speedups = []
-        for size in SIZES:
-            # no_squash isolates the capacity effect: otherwise a
-            # larger SVF covers more references and eon's squash count
-            # grows with it, confounding the sweep.
-            # Ample ports isolate capacity from port saturation
-            # (stack-dense workloads would otherwise prefer a smaller
-            # SVF just to spread references over the DL1 ports too).
-            run = simulate(
-                trace,
-                base.with_svf(
-                    mode="svf", ports=16, capacity_bytes=size,
-                    no_squash=True,
-                ),
-            )
-            speedups.append(run.speedup_over(baseline))
-        rows.append((name, speedups))
-    return rows
-
-
-def test_svf_size_ablation(benchmark, emit, timing_window):
-    rows = benchmark.pedantic(
-        lambda: run_ablation(timing_window), rounds=1, iterations=1
+def test_svf_size_ablation(benchmark, emit, timing_window, sweep_suite):
+    result = benchmark.pedantic(
+        lambda: sweep_suite("svf_size", timing_window),
+        rounds=1, iterations=1,
     )
-    emit(
-        "ablation_svf_size",
-        render_table(
-            ["Benchmark"] + [f"{s // 1024}KB" for s in SIZES],
-            [(n, *[percent(v) for v in s]) for n, s in rows],
-            title="Ablation: SVF capacity vs speedup (16-wide, 16 ports)",
-        ),
-    )
-    by_name = {name: speedups for name, speedups in rows}
+    emit("ablation_svf_size", result.render_summary())
+    assert result.ok, [row.error for row in result.rows if not row.ok]
+    assert result.factors == ("svf_capacity",)
+
+    # Rows arrive in canonical order: per workload, capacities in the
+    # descriptor's declared (ascending) order.
+    by_name = {}
+    for row in result.rows:
+        by_name.setdefault(row.workload, []).append(row.metric("speedup"))
+    assert all(len(speedups) == 4 for speedups in by_name.values())
+
     # crafty/gcc have multi-KB active stack regions (Figure 2):
     # capacity must help monotonically until the region fits.
     for name in ("186.crafty", "176.gcc"):
@@ -68,5 +38,5 @@ def test_svf_size_ablation(benchmark, emit, timing_window):
     # No benchmark collapses across the sweep (eon shifts a few points
     # as evictions reshuffle its dependence chains; that is noise, not
     # a cliff).
-    for name, speedups in rows:
+    for name, speedups in by_name.items():
         assert max(speedups) - min(speedups) < 0.10, name

@@ -9,7 +9,8 @@ option objects with explicit defaults:
 * :class:`MachineSpec` — a declarative wrapper over the Table-2
   machine models and their stack-unit steering;
 * :func:`compile_source`, :func:`run_workload`, :func:`characterize`,
-  :func:`simulate`, :func:`lint`, :func:`experiment` — the verbs.
+  :func:`simulate`, :func:`lint`, :func:`experiment`, :func:`sweep`,
+  :func:`predict` — the verbs.
 
 The facade is the *stability boundary*: subsystem modules underneath
 may reshuffle freely, but signatures here only grow.  Machine-readable
@@ -39,6 +40,11 @@ from repro.harness.experiments import (
     table3_memory_traffic,
     table4_context_switch,
 )
+from repro.harness.sweep import (
+    SweepOptions,
+    SweepResult,
+    run_sweep as _run_sweep,
+)
 from repro.isa.instructions import Program
 from repro.lang.codegen import (
     CodegenOptions,
@@ -54,8 +60,17 @@ from repro.workloads.registry import workload as _workload
 #: name (``<cache>/v<SCHEMA_VERSION>/``).  Bump on any breaking change
 #: to a payload shape or persisted trace format.  v2: columnar binary
 #: trace files replaced pickled record lists — v1 caches are stale and
-#: are simply never read again.
-SCHEMA_VERSION = 2
+#: are simply never read again.  v3: the declarative sweep engine —
+#: every JSON envelope (lint/certify/experiment/characterize/sweep)
+#: now uniformly carries ``kind`` + ``schema_version``, sweep
+#: run-table artifacts joined the payload family, and ``MachineSpec``
+#: grew the ablation knobs (banks, granularity, adaptive, AGU depth)
+#: that feed sweep cell-cache keys.  Migration: there is nothing to
+#: convert — v2 caches live under ``v2/`` and are simply never read
+#: again (delete the directory to reclaim disk); consumers of v2 JSON
+#: payloads only need to accept the new ``kind`` field on payloads
+#: that previously lacked it.
+SCHEMA_VERSION = 3
 
 #: Valid ``experiment`` names (paper tables and figures).
 EXPERIMENT_NAMES = (
@@ -114,9 +129,18 @@ class MachineSpec:
     width: int = 16
     dl1_ports: int = 2
     branch_predictor: str = "perfect"
+    #: extra pipeline stages between dispatch and address generation
+    #: (the deep-pipeline ablation knob; morphed SVF refs skip them)
+    agu_depth: int = 0
     svf_mode: str = "none"
     svf_ports: int = 2
     svf_capacity: int = 8192
+    #: single-ported banks instead of true multiporting (0 = off)
+    svf_banks: int = 0
+    #: valid/dirty-bit granule size in bytes (Section 3.3)
+    svf_granularity: int = 8
+    #: dynamically disable the SVF under squash storms (Section 3.3)
+    svf_adaptive: bool = False
     no_squash: bool = False
 
     def config(self) -> MachineConfig:
@@ -125,6 +149,7 @@ class MachineSpec:
             self.width,
             dl1_ports=self.dl1_ports,
             branch_predictor=self.branch_predictor,
+            agu_depth=self.agu_depth,
         )
         if self.svf_mode == "none":
             return base
@@ -132,6 +157,9 @@ class MachineSpec:
             mode=self.svf_mode,
             ports=self.svf_ports,
             capacity_bytes=self.svf_capacity,
+            banks=self.svf_banks,
+            granularity=self.svf_granularity,
+            adaptive=self.svf_adaptive,
             no_squash=self.no_squash,
         )
 
@@ -479,10 +507,88 @@ def certify_json(results: List[CertifyResult], indent: int = 2) -> str:
     }), indent=indent)
 
 
+def sweep(
+    suite: Union[str, "SweepSpec"],
+    options: Optional[SweepOptions] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run a declarative design-space sweep (``repro sweep``).
+
+    ``suite`` is a descriptor path (YAML/JSON) or an already-validated
+    :class:`repro.sweepspec.SweepSpec`.  A malformed descriptor raises
+    :class:`repro.errors.UsageError` before any cell runs; a cell that
+    fails after its retry degrades to an annotated gap row.  The run
+    table (:meth:`SweepResult.run_table_json` and the rendered
+    summary) is byte-identical across ``jobs`` values and across warm
+    re-runs; with the disk cache on, completed cells are skipped, so
+    interrupted sweeps resume.
+    """
+    from repro.sweepspec import SweepSpec, load_suite
+
+    if isinstance(suite, str):
+        suite = load_suite(suite)
+    elif not isinstance(suite, SweepSpec):
+        raise UsageError(
+            f"sweep: expected a descriptor path or SweepSpec, "
+            f"not {type(suite).__name__}"
+        )
+    return _run_sweep(suite, options=options, progress=progress)
+
+
+def sweep_json(result: SweepResult, indent: int = 2) -> str:
+    """Versioned JSON run-table payload for a finished sweep."""
+    return result.run_table_json(indent=indent)
+
+
+def load_suite(path: str) -> "SweepSpec":
+    """Read and validate a sweep suite descriptor (YAML or JSON).
+
+    Facade re-export of :func:`repro.sweepspec.load_suite`: raises
+    :class:`UsageError` on unknown workloads, unknown grid axes, zero
+    repetitions or any other malformation — before anything runs.
+    """
+    from repro.sweepspec import load_suite as _load_suite
+
+    return _load_suite(path)
+
+
+def predict(
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    capacity_bytes: int = 8192,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+):
+    """Static-vs-dynamic SVF traffic bounds (``repro predict``).
+
+    Returns a :class:`repro.harness.prediction.PredictionReport`;
+    unknown benchmark names raise :class:`UsageError` before any run
+    starts, and ``jobs`` fans the measurement over the parallel
+    engine.
+    """
+    from repro.harness.prediction import traffic_prediction_report
+    from repro.workloads import validate_benchmarks
+
+    if jobs is not None and jobs < 1:
+        raise UsageError(f"jobs must be >= 1, not {jobs!r}")
+    resolved = validate_benchmarks(benchmarks) if benchmarks else None
+    return traffic_prediction_report(
+        benchmarks=resolved,
+        max_instructions=max_instructions,
+        capacity_bytes=capacity_bytes,
+        jobs=jobs,
+        progress=progress,
+    )
+
+
 def experiment(name: str, window: Optional[int] = None) -> ExperimentResult:
-    """Regenerate one paper artifact by name (see EXPERIMENT_NAMES)."""
+    """Regenerate one paper artifact by name (see EXPERIMENT_NAMES).
+
+    An unknown name raises :class:`UsageError` (CLI exit code 2),
+    matching the behaviour of benchmark-subset validation.
+    """
     if name not in EXPERIMENT_NAMES:
-        raise ValueError(
+        raise UsageError(
             f"unknown experiment {name!r} (have {', '.join(EXPERIMENT_NAMES)})"
         )
     if name == "table1":
@@ -521,6 +627,8 @@ __all__ = [
     "ReportOptions",
     "RunResult",
     "SCHEMA_VERSION",
+    "SweepOptions",
+    "SweepResult",
     "UsageError",
     "certify",
     "certify_json",
@@ -530,7 +638,11 @@ __all__ = [
     "generate_report",
     "lint",
     "lint_json",
+    "load_suite",
+    "predict",
     "run_workload",
     "simulate",
+    "sweep",
+    "sweep_json",
     "versioned",
 ]

@@ -38,6 +38,15 @@ Commands:
     workloads or a hand-written assembly file; exits nonzero when
     error-severity diagnostics exist.  ``--jobs`` fans the ``--all``
     sweep over the parallel engine.
+``sweep <suite.yaml> [--jobs N] [--out DIR] [--format table|json]``
+    expand a declarative suite descriptor (workloads × MachineSpec
+    grid × opt levels × repetitions) into task cells over the
+    parallel engine and write a run-table artifact plus a rendered
+    summary.  The run table is byte-identical across ``--jobs``
+    values and warm re-runs; cached cells are skipped, so sweeps are
+    resumable.  ``--dry-run`` validates and prints the expansion plan
+    without running anything; exit 1 when any cell degraded to a gap
+    row.
 ``certify <workload> | --all | --adversarial | --asm FILE``
     whole-program stack-safety certification: call graph,
     interprocedural summaries, worst-case depth bound (or UNBOUNDED
@@ -196,6 +205,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the per-function verdict table (text format)",
     )
     opt_flag(certify_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="run a declarative design-space sweep from a suite file",
+    )
+    sweep_parser.add_argument(
+        "suite", help="suite descriptor (.yaml/.yml or .json)"
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker processes (default: CPU count; 1 = serial)",
+    )
+    sweep_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default: sweeps/<suite-name>)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="trace-cache directory (default: ~/.cache/repro-svf)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache (sweeps stop being resumable)",
+    )
+    sweep_parser.add_argument(
+        "--format", default="table", choices=("table", "json"),
+        help="print the rendered summary or the run-table JSON",
+    )
+    sweep_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="validate the descriptor and print the plan; run nothing",
+    )
+    sweep_parser.add_argument(
+        "--task-timeout", type=float, default=600.0,
+        help="seconds to wait on one cell before declaring it hung",
+    )
 
     exp_parser = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -519,6 +564,48 @@ def cmd_certify(args) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def cmd_sweep(args) -> int:
+    import os
+
+    spec = api.load_suite(args.suite)
+    if args.dry_run:
+        points = spec.expand()
+        combos = spec.combos()
+        print(f"suite {spec.name} ({spec.kind}): "
+              f"{len(spec.workloads)} workloads x {len(combos)} configs "
+              f"x {len(spec.opt_levels)} opt levels "
+              f"x {spec.repetitions} reps = {len(points)} cells, "
+              f"window {spec.window:,}")
+        print(f"workloads: {', '.join(spec.workloads)}")
+        print(f"factors: {', '.join(spec.factor_names) or '(none)'}")
+        for combo in combos:
+            label = ", ".join(f"{axis}={value}" for axis, value in combo)
+            print(f"  {label or '(base)'}")
+        return 0
+    out_dir = args.out if args.out is not None else os.path.join(
+        "sweeps", spec.name
+    )
+    options = api.SweepOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        task_timeout=args.task_timeout,
+        out_dir=out_dir,
+    )
+    result = api.sweep(
+        spec,
+        options,
+        progress=lambda message: print(
+            f"[sweep] {message}", file=sys.stderr
+        ),
+    )
+    if args.format == "json":
+        print(api.sweep_json(result))
+    else:
+        print(result.render_summary())
+    return 0 if result.ok else 1
+
+
 def cmd_experiment(args) -> int:
     result = api.experiment(args.name, window=args.window)
     print(result.to_json() if args.format == "json" else result.render())
@@ -604,16 +691,10 @@ def cmd_profile(args) -> int:
 
 
 def cmd_predict(args) -> int:
-    from repro.harness.prediction import traffic_prediction_report
-    from repro.workloads import validate_benchmarks
-
     if args.jobs is not None and args.jobs < 1:
         return _fail(f"predict: --jobs must be >= 1, not {args.jobs}")
-    benchmarks = (
-        validate_benchmarks(args.benchmarks) if args.benchmarks else None
-    )
-    report = traffic_prediction_report(
-        benchmarks=benchmarks,
+    report = api.predict(
+        benchmarks=args.benchmarks or None,
         max_instructions=args.max_instructions,
         capacity_bytes=args.capacity,
         jobs=args.jobs,
@@ -684,6 +765,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "compile": cmd_compile,
         "experiment": cmd_experiment,
+        "sweep": cmd_sweep,
         "lint": cmd_lint,
         "certify": cmd_certify,
         "report": cmd_report,

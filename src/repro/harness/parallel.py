@@ -402,9 +402,17 @@ def _cell_lint(cell: TaskCell):
     return lint_workload(cell.benchmark, options=options)
 
 
+def _cell_sweep(cell: TaskCell):
+    """One declarative-sweep run-table row (see repro.harness.sweep)."""
+    from repro.harness.sweep import run_sweep_cell
+
+    return run_sweep_cell(cell)
+
+
 _CELL_RUNNERS: Dict[str, Callable[[TaskCell], Any]] = {
     "characterize": _cell_characterize,
     "lint": _cell_lint,
+    "sweep": _cell_sweep,
     "fig5": _cell_fig5,
     "fig6": _cell_fig6,
     "fig7": _cell_fig7,

@@ -311,3 +311,66 @@ class TestExperiment:
         assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["experiment"] == "table1"
         assert "Table 1" in payload["text"]
+
+
+class TestSweep:
+    SUITE = {
+        "suite": "cli-unit",
+        "kind": "timing",
+        "workloads": ["gzip"],
+        "window": 2000,
+        "base": {"machine": {"svf_mode": "svf"}},
+        "grid": {"svf_ports": [1, 2]},
+    }
+
+    def write_suite(self, tmp_path, **overrides):
+        data = dict(self.SUITE)
+        data.update(overrides)
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_missing_descriptor_is_usage_error(self, capsys):
+        assert main(["sweep", "/no/such/suite.yaml"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert "no such suite descriptor" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_descriptor_is_usage_error(self, tmp_path, capsys):
+        path = self.write_suite(tmp_path, grid={"bogus_axis": [1]})
+        assert main(["sweep", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown grid axis" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_dry_run_prints_plan_without_running(self, tmp_path, capsys):
+        path = self.write_suite(tmp_path)
+        assert main(["sweep", path, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert "svf_ports=1" in out and "svf_ports=2" in out
+
+    def test_end_to_end_writes_artifacts(self, tmp_path, capsys):
+        from repro.api import SCHEMA_VERSION
+
+        path = self.write_suite(tmp_path)
+        out_dir = tmp_path / "artifacts"
+        assert main(["sweep", path, "--jobs", "1", "--no-cache",
+                     "--out", str(out_dir), "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == "sweep"
+        assert payload["ok"] is True
+        assert len(payload["rows"]) == 2
+        # Progress goes to stderr, never stdout.
+        assert "[sweep]" in captured.err
+        assert "[sweep]" not in captured.out
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "run_meta.json", "run_table.json", "summary.txt",
+        ]
+        # The on-disk run table is the printed payload.
+        assert json.loads(
+            (out_dir / "run_table.json").read_text()
+        ) == payload

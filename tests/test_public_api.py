@@ -76,6 +76,8 @@ FACADE_SURFACE = {
     "ReportOptions",
     "RunResult",
     "SCHEMA_VERSION",
+    "SweepOptions",
+    "SweepResult",
     "UsageError",
     "certify",
     "certify_json",
@@ -85,8 +87,12 @@ FACADE_SURFACE = {
     "generate_report",
     "lint",
     "lint_json",
+    "load_suite",
+    "predict",
     "run_workload",
     "simulate",
+    "sweep",
+    "sweep_json",
     "versioned",
 }
 
@@ -181,7 +187,8 @@ def test_lint_facade_and_versioned_json():
 def test_experiment_facade_versioned_json():
     from repro import api
 
-    with pytest.raises(ValueError):
+    # Unknown names are a usage error (CLI exit 2), not a crash.
+    with pytest.raises(api.UsageError):
         api.experiment("fig99")
     result = api.experiment("table2")
     assert result.name == "table2"
@@ -189,3 +196,38 @@ def test_experiment_facade_versioned_json():
     assert payload["schema_version"] == api.SCHEMA_VERSION
     assert payload["experiment"] == "table2"
     assert payload["text"] == result.render()
+
+
+def test_every_json_envelope_is_versioned_with_kind():
+    """lint/certify/experiment/sweep all share one envelope contract:
+    ``schema_version`` (current) plus a ``kind`` discriminator."""
+    from repro import api
+    from repro.harness.sweep import SweepResult, SweepRow
+
+    program = api.compile_source(
+        "int main() { int x; x = 1; return x; }"
+    )
+    sweep_result = SweepResult(
+        suite="round-trip", kind="timing", description="",
+        window=1000, repetitions=1, workloads=("164.gzip",),
+        factors=("svf_ports",),
+        rows=(SweepRow(
+            workload="164.gzip", opt_level=0, repetition=0,
+            levels=(("svf_ports", 2),),
+            metrics={"speedup": 1.0},
+        ),),
+    )
+    envelopes = {
+        "lint": api.lint_json(api.lint(program)),
+        "certify": api.certify_json(api.certify(program)),
+        "experiment": api.experiment("table2").to_json(),
+        "sweep": api.sweep_json(sweep_result),
+    }
+    for kind, text in envelopes.items():
+        payload = json.loads(text)
+        assert payload["schema_version"] == api.SCHEMA_VERSION, kind
+        assert payload["kind"] == kind, kind
+    # The sweep run table round-trips byte-identically.
+    assert json.loads(sweep_result.run_table_json()) == (
+        sweep_result.run_table()
+    )
