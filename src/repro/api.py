@@ -40,6 +40,7 @@ from repro.harness.experiments import (
     table3_memory_traffic,
     table4_context_switch,
 )
+from repro.harness.chaos import ChaosOptions, ChaosResult
 from repro.harness.sweep import (
     SweepOptions,
     SweepResult,
@@ -69,8 +70,14 @@ from repro.workloads.registry import workload as _workload
 #: convert — v2 caches live under ``v2/`` and are simply never read
 #: again (delete the directory to reclaim disk); consumers of v2 JSON
 #: payloads only need to accept the new ``kind`` field on payloads
-#: that previously lacked it.
-SCHEMA_VERSION = 3
+#: that previously lacked it.  v4: the chaos-hardening pass — cached
+#: traces gained a CRC32 (``SVFT\\x04`` header) so a bit-flipped
+#: ``.trace.bin`` is rejected instead of silently timed, and cell
+#: cache keys escape param separators so values containing ``.``/``-``
+#: can no longer collide.  Migration: nothing to convert — v3 caches
+#: live under ``v3/`` and are never read again; JSON payload shapes
+#: are unchanged apart from the version field.
+SCHEMA_VERSION = 4
 
 #: Valid ``experiment`` names (paper tables and figures).
 EXPERIMENT_NAMES = (
@@ -540,6 +547,29 @@ def sweep_json(result: SweepResult, indent: int = 2) -> str:
     return result.run_table_json(indent=indent)
 
 
+def chaos_check(
+    options: Optional["ChaosOptions"] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> "ChaosResult":
+    """Drive a report or sweep under injected faults (``repro chaos``).
+
+    Kills workers mid-cell, hangs and fails cells, corrupts cache
+    entries, and races two runs on one cache directory — then checks
+    the invariants the harness documents: output byte-identical or
+    explicitly annotated, the cache never poisoned, no orphan worker
+    processes.  Returns a :class:`repro.harness.chaos.ChaosResult`;
+    ``result.ok`` is the verdict the CLI maps to its exit code.
+    """
+    from repro.harness.chaos import run_chaos
+
+    return run_chaos(options, progress=progress)
+
+
+def chaos_json(result: "ChaosResult", indent: int = 2) -> str:
+    """Versioned JSON verdict payload for a finished chaos run."""
+    return json.dumps(versioned(result.to_dict()), indent=indent)
+
+
 def load_suite(path: str) -> "SweepSpec":
     """Read and validate a sweep suite descriptor (YAML or JSON).
 
@@ -620,6 +650,8 @@ def experiment(name: str, window: Optional[int] = None) -> ExperimentResult:
 
 __all__ = [
     "CertifyResult",
+    "ChaosOptions",
+    "ChaosResult",
     "CompileOptions",
     "EXPERIMENT_NAMES",
     "ExperimentResult",
@@ -632,6 +664,8 @@ __all__ = [
     "UsageError",
     "certify",
     "certify_json",
+    "chaos_check",
+    "chaos_json",
     "characterize",
     "compile_source",
     "experiment",

@@ -47,6 +47,13 @@ Commands:
     resumable.  ``--dry-run`` validates and prints the expansion plan
     without running anything; exit 1 when any cell degraded to a gap
     row.
+``chaos [--suite FILE] [--kill N] [--hang N] [--corrupt N] [--seed S]``
+    drive a real report (or sweep) under a seeded fault plan — worker
+    SIGKILLs, hangs, injected failures, cache corruption, concurrent
+    runs on one cache dir — and verify the documented failure
+    invariants: output byte-identical or explicitly annotated, cache
+    never poisoned, no orphan workers.  Exit 1 when any invariant is
+    violated.
 ``certify <workload> | --all | --adversarial | --asm FILE``
     whole-program stack-safety certification: call graph,
     interprocedural summaries, worst-case depth bound (or UNBOUNDED
@@ -239,7 +246,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--task-timeout", type=float, default=600.0,
-        help="seconds to wait on one cell before declaring it hung",
+        help="per-attempt cell deadline in seconds, from submission",
+    )
+
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="inject worker/cache faults and verify failure invariants",
+    )
+    chaos_parser.add_argument(
+        "--benchmarks", nargs="*", default=["gzip"],
+        help="benchmark subset the chaotic report runs (default: gzip)",
+    )
+    chaos_parser.add_argument(
+        "--suite", default=None,
+        help="target a sweep suite descriptor instead of the report",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="engine worker processes during the chaos run (default: 2)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--kill", type=int, default=1, metavar="N",
+        help="cells whose worker is SIGKILLed mid-cell (default: 1)",
+    )
+    chaos_parser.add_argument(
+        "--hang", type=int, default=1, metavar="N",
+        help="cells hung past the task deadline (default: 1)",
+    )
+    chaos_parser.add_argument(
+        "--fail", type=int, default=1, metavar="N",
+        help="cells that raise an injected exception (default: 1)",
+    )
+    chaos_parser.add_argument(
+        "--corrupt", type=int, default=2, metavar="N",
+        help="cache entries truncated/bit-flipped between runs",
+    )
+    chaos_parser.add_argument(
+        "--hang-seconds", type=float, default=30.0,
+        help="injected hang length (must exceed --task-timeout)",
+    )
+    chaos_parser.add_argument(
+        "--task-timeout", type=float, default=20.0,
+        help="per-attempt cell deadline during the chaos run",
+    )
+    chaos_parser.add_argument("--timing-window", type=int, default=1_500)
+    chaos_parser.add_argument(
+        "--functional-window", type=int, default=1_500
+    )
+    chaos_parser.add_argument(
+        "--no-concurrent", action="store_true",
+        help="skip the two-runs-one-cache-dir race round",
+    )
+    chaos_parser.add_argument(
+        "--work-dir", default=None,
+        help="directory for caches and the fault ledger (default: temp)",
+    )
+    chaos_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
     )
 
     exp_parser = commands.add_parser(
@@ -606,6 +670,41 @@ def cmd_sweep(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    if args.hang > 0 and args.hang_seconds <= args.task_timeout:
+        return _fail(
+            f"chaos: --hang-seconds ({args.hang_seconds}) must exceed "
+            f"--task-timeout ({args.task_timeout}) for a hang to count"
+        )
+    options = api.ChaosOptions(
+        benchmarks=tuple(args.benchmarks),
+        suite=args.suite,
+        jobs=args.jobs,
+        seed=args.seed,
+        kills=args.kill,
+        hangs=args.hang,
+        fails=args.fail,
+        corrupt=args.corrupt,
+        hang_seconds=args.hang_seconds,
+        task_timeout=args.task_timeout,
+        timing_window=args.timing_window,
+        functional_window=args.functional_window,
+        concurrent=not args.no_concurrent,
+        work_dir=args.work_dir,
+    )
+    result = api.chaos_check(
+        options,
+        progress=lambda message: print(
+            f"[chaos] {message}", file=sys.stderr
+        ),
+    )
+    if args.format == "json":
+        print(api.chaos_json(result))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def cmd_experiment(args) -> int:
     result = api.experiment(args.name, window=args.window)
     print(result.to_json() if args.format == "json" else result.render())
@@ -766,6 +865,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compile": cmd_compile,
         "experiment": cmd_experiment,
         "sweep": cmd_sweep,
+        "chaos": cmd_chaos,
         "lint": cmd_lint,
         "certify": cmd_certify,
         "report": cmd_report,

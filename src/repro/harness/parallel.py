@@ -12,9 +12,15 @@ Failure semantics: a cell that raises inside a worker is retried once
 (``EngineOptions.retries``); a cell that exhausts its retries or its
 per-cell timeout degrades to a :class:`CellOutcome` with ``error`` set,
 which the report renders as an annotated gap instead of crashing the
-whole sweep.  The timeout is measured from the point the collector
-starts waiting on that cell (earlier waits overlap queue time), so it
-is a liveness bound, not a precise execution budget.
+whole sweep.  ``task_timeout`` is a **per-attempt deadline measured
+from submission**: each worker slot is a single-process executor, so
+a submitted cell starts immediately and the deadline bounds its real
+runtime; a cell that blows its deadline (or whose worker dies) has
+its worker killed and replaced, so one hung cell can never hold a
+pool slot hostage, and ``elapsed`` always reports real wall time.
+``EngineOptions.fault_plan`` installs a :mod:`repro.harness.chaos`
+fault plan in every worker, which is how the chaos harness proves all
+of the above deterministically.
 
 The engine is backed by :class:`TraceCache`, a shared on-disk
 compile/trace cache keyed by (benchmark, input, opt level, window) and
@@ -32,13 +38,14 @@ import os
 import pickle
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import profiling
+from repro.harness import chaos
 from repro.trace.serialization import (
     TraceFormatError,
     load_trace,
@@ -73,6 +80,13 @@ class CacheStats:
     (the historical meaning); cell payloads and report sections have
     their own counters so ``--profile`` can attribute a warm run to
     the level that actually absorbed it.
+
+    ``corrupt_dropped`` and ``transient_errors`` split the two ways a
+    read can go wrong, across all namespaces: a **corrupt** entry
+    (truncated/bit-flipped payload) is unlinked so it can never be
+    served, while a **transient** I/O error (EINTR, a permission blip,
+    a reader racing a writer) leaves the entry on disk — it may be
+    perfectly valid for the next reader.  Both degrade to a miss.
     """
 
     hits: int = 0
@@ -84,10 +98,30 @@ class CacheStats:
     section_hits: int = 0
     section_misses: int = 0
     section_stores: int = 0
+    corrupt_dropped: int = 0
+    transient_errors: int = 0
 
 
 #: distinguishes "entry absent" from a legitimately-None payload.
 _MISS = object()
+
+
+def _escape_key_part(value: Any) -> str:
+    """Escape the structural separators of cell-cache file names.
+
+    Cell keys join parts with ``.`` and bind names to values with
+    ``-``; a param value containing either (a float machine field, a
+    dotted label) could otherwise make two distinct cells share one
+    path and serve each other's payloads.  Escaping only the three
+    special characters keeps every existing key for plain values
+    byte-identical, so warm caches stay warm.
+    """
+    return (
+        str(value)
+        .replace("%", "%25")
+        .replace(".", "%2E")
+        .replace("-", "%2D")
+    )
 
 
 class TraceCache:
@@ -136,7 +170,10 @@ class TraceCache:
     def cell_path_for(self, cell: "TaskCell") -> Path:
         window_tag = "full" if cell.window is None else str(cell.window)
         parts = [cell.section, cell.benchmark, f"w{window_tag}"]
-        parts += [f"{name}-{value}" for name, value in cell.params]
+        parts += [
+            f"{_escape_key_part(name)}-{_escape_key_part(value)}"
+            for name, value in cell.params
+        ]
         return self.cells_root / (".".join(parts) + ".cell.pkl")
 
     def _read(self, path: Path, kind: str) -> Any:
@@ -146,7 +183,17 @@ class TraceCache:
         except FileNotFoundError:
             self._bump(kind, "misses")
             return _MISS
+        except OSError:
+            # Transient I/O error (EINTR, permission blip, reader
+            # racing a writer): the entry may be perfectly valid, so
+            # it must survive for the next reader.
+            self.stats.transient_errors += 1
+            self._bump(kind, "misses")
+            return _MISS
         except Exception:
+            # Genuine corruption (truncated/bit-flipped payload): drop
+            # the entry so it can never be served.
+            self.stats.corrupt_dropped += 1
             try:
                 path.unlink()
             except OSError:
@@ -188,11 +235,18 @@ class TraceCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (TraceFormatError, ValueError, OSError):
+        except (TraceFormatError, ValueError):
+            # Corrupt format: unlink so the entry is never served.
+            self.stats.corrupt_dropped += 1
             try:
                 path.unlink()
             except OSError:
                 pass
+            self.stats.misses += 1
+            return None
+        except OSError:
+            # Transient I/O error: a valid entry must not be lost.
+            self.stats.transient_errors += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -437,12 +491,35 @@ def _execute_cell(
     started = time.perf_counter()
     profiler = profiling.PhaseProfiler()
     previous = profiling.swap(profiler)
+    cache = get_disk_trace_cache()
+    corrupt_before = cache.stats.corrupt_dropped if cache is not None else 0
+    transient_before = (
+        cache.stats.transient_errors if cache is not None else 0
+    )
+
+    def _cache_health_counters() -> None:
+        if cache is None:
+            return
+        profiler.count(
+            "cache_corrupt_dropped",
+            cache.stats.corrupt_dropped - corrupt_before,
+        )
+        profiler.count(
+            "cache_transient_errors",
+            cache.stats.transient_errors - transient_before,
+        )
+
     try:
-        cache = get_disk_trace_cache()
+        # The chaos hook may sleep, raise, or SIGKILL this process —
+        # after the profiler swap so fault counters ship back in the
+        # snapshot, before the cache lookup so a killed cell's retry
+        # exercises the full lookup-or-compute path.
+        chaos.on_cell_start(cell)
         if cache is not None:
             payload = cache.load_cell(cell)
             if payload is not _MISS:
                 profiler.count("cell_cache_hits")
+                _cache_health_counters()
                 return (
                     "ok",
                     payload,
@@ -462,6 +539,7 @@ def _execute_cell(
             profiler.count(
                 "trace_cache_misses", cache.stats.misses - trace_misses
             )
+        _cache_health_counters()
         return (
             "ok",
             payload,
@@ -470,6 +548,7 @@ def _execute_cell(
         )
     except Exception as exc:
         message = f"{type(exc).__name__}: {exc}"
+        _cache_health_counters()
         return (
             "error",
             message,
@@ -480,9 +559,16 @@ def _execute_cell(
         profiling.swap(previous)
 
 
-def _init_worker(cache_dir: Optional[str]) -> None:
+def _init_worker(
+    cache_dir: Optional[str],
+    fault_plan: Optional[chaos.FaultPlan] = None,
+) -> None:
     if cache_dir:
         set_disk_trace_cache(TraceCache(cache_dir))
+    if fault_plan is not None:
+        # Real workers take real SIGKILLs — the engine must survive
+        # losing the process, not a polite exception.
+        chaos.install(fault_plan, simulate_kill=False)
 
 
 # ---------------------------------------------------------------------------
@@ -498,15 +584,39 @@ class EngineOptions:
     jobs: Optional[int] = None
     #: on-disk trace cache root; None disables the disk level entirely.
     cache_dir: Optional[str] = None
-    #: seconds the collector waits on one cell before declaring it hung.
+    #: per-attempt deadline in seconds, measured from submission.
     task_timeout: float = 600.0
     #: extra attempts after the first failure/timeout of a cell.
     retries: int = 1
+    #: deterministic fault plan installed in every worker (chaos runs).
+    fault_plan: Optional[chaos.FaultPlan] = None
 
     def effective_jobs(self) -> int:
         if self.jobs is None:
             return max(1, os.cpu_count() or 1)
         return max(1, self.jobs)
+
+
+@dataclass
+class EngineReport:
+    """Post-run health facts the chaos invariant checker asserts on.
+
+    Recorded by both the serial and the pool path after every
+    :func:`run_cells` call (:func:`last_engine_report` returns the most
+    recent one).  ``worker_pids`` is every worker process the run ever
+    spawned — including ones that were killed and replaced — so "no
+    orphan workers" is checkable from the outside without scanning the
+    process table.
+    """
+
+    #: pid of every worker process spawned over the run's lifetime.
+    worker_pids: Set[int] = field(default_factory=set)
+    #: workers killed and replaced (timeout or broken process).
+    recycled: int = 0
+    #: attempts that blew their per-attempt deadline.
+    timeouts: int = 0
+    #: attempts lost to a dead worker (SIGKILL, crash).
+    broken: int = 0
 
 
 @dataclass
@@ -529,6 +639,15 @@ class CellOutcome:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+#: the :class:`EngineReport` of the most recent :func:`run_cells`.
+_LAST_REPORT: Optional[EngineReport] = None
+
+
+def last_engine_report() -> Optional[EngineReport]:
+    """Health report of the most recent :func:`run_cells` call."""
+    return _LAST_REPORT
 
 
 def run_cells(
@@ -565,9 +684,17 @@ def _run_serial(
     options: EngineOptions,
     note: Callable[[str], None],
 ) -> List[CellOutcome]:
+    global _LAST_REPORT
     previous_cache = get_disk_trace_cache()
     if options.cache_dir:
         set_disk_trace_cache(TraceCache(options.cache_dir))
+    previous_plan = None
+    if options.fault_plan is not None:
+        # Inline runs can't SIGKILL the caller's own process, so
+        # ``kill`` faults surface as a ChaosKill error and ride the
+        # same retry path a dead worker does.
+        previous_plan = chaos.install(options.fault_plan,
+                                      simulate_kill=True)
     try:
         outcomes = []
         for index, cell in enumerate(cells):
@@ -588,10 +715,75 @@ def _run_serial(
             )
             outcomes.append(outcome)
             _note_outcome(note, outcome, index + 1, len(cells))
+        _LAST_REPORT = EngineReport()
         return outcomes
     finally:
         if options.cache_dir:
             set_disk_trace_cache(previous_cache)
+        if options.fault_plan is not None:
+            chaos.install(previous_plan)
+
+
+class _WorkerSlot:
+    """One pool slot: a single-process executor plus its in-flight cell.
+
+    Each slot owns a one-worker ``ProcessPoolExecutor``, so a submitted
+    cell starts immediately and the per-attempt deadline measured from
+    submission bounds the cell's *real* runtime — a shared executor
+    would start queued cells whenever a worker freed up, making any
+    submission-anchored deadline meaningless.  Killing a hung or dead
+    worker breaks only this slot's executor; :meth:`recycle` replaces
+    it and the rest of the pool never notices.
+    """
+
+    def __init__(self, options: EngineOptions, report: EngineReport):
+        self._options = options
+        self._report = report
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.future = None
+        self.index = -1
+        self.attempt = 0
+        self.started = 0.0
+        self.deadline = float("inf")
+
+    def submit(self, index: int, attempt: int, cell: TaskCell) -> None:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_worker,
+                initargs=(self._options.cache_dir,
+                          self._options.fault_plan),
+            )
+        self.index = index
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.deadline = self.started + self._options.task_timeout
+        self.future = self._executor.submit(_execute_cell, cell)
+        # Submission spawns the worker; record its pid so the chaos
+        # checker can assert nothing outlives the run.
+        for proc in list(self._executor._processes.values()):
+            self._report.worker_pids.add(proc.pid)
+
+    def recycle(self) -> None:
+        """Kill this slot's worker, reap it, and drop the executor."""
+        executor, self._executor = self._executor, None
+        self.future = None
+        self.deadline = float("inf")
+        if executor is None:
+            return
+        processes = list(executor._processes.values())
+        for proc in processes:
+            proc.kill()
+        for proc in processes:
+            proc.join()
+        executor.shutdown(wait=False, cancel_futures=True)
+        self._report.recycled += 1
+
+    def close(self) -> None:
+        """Graceful shutdown of a healthy, idle slot."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
 
 def _run_pool(
@@ -599,52 +791,96 @@ def _run_pool(
     options: EngineOptions,
     note: Callable[[str], None],
 ) -> List[CellOutcome]:
+    global _LAST_REPORT
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total
-    with ProcessPoolExecutor(
-        max_workers=options.effective_jobs(),
-        initializer=_init_worker,
-        initargs=(options.cache_dir,),
-    ) as pool:
-        futures = [pool.submit(_execute_cell, cell) for cell in cells]
-        for index, cell in enumerate(cells):
-            attempts = 1
-            while True:
-                try:
-                    status, payload, elapsed, phases = futures[
-                        index
-                    ].result(timeout=options.task_timeout)
-                except FutureTimeoutError:
-                    status = "error"
-                    payload = f"timed out after {options.task_timeout:.0f}s"
-                    elapsed = options.task_timeout
-                    phases = {}
-                except Exception as exc:  # broken pool, unpicklable result
-                    status = "error"
-                    payload = f"{type(exc).__name__}: {exc}"
-                    elapsed = 0.0
-                    phases = {}
-                if status == "ok" or attempts > options.retries:
-                    break
-                attempts += 1
-                note(f"retrying {cell.label} ({payload})")
-                try:
-                    futures[index] = pool.submit(_execute_cell, cell)
-                except Exception as exc:
-                    status = "error"
-                    payload = f"{type(exc).__name__}: {exc}"
-                    elapsed = 0.0
-                    phases = {}
-                    break
-            outcomes[index] = CellOutcome(
-                cell=cell,
-                payload=payload if status == "ok" else None,
-                error=None if status == "ok" else str(payload),
-                elapsed=elapsed,
-                attempts=attempts,
-                phases=phases,
+    report = EngineReport()
+    pending = deque((index, 1) for index in range(total))
+    slots = [
+        _WorkerSlot(options, report)
+        for _ in range(min(options.effective_jobs(), total))
+    ]
+    done = 0
+
+    def finish(index: int, attempt: int, status: str, payload: Any,
+               elapsed: float, phases: profiling.Snapshot) -> None:
+        nonlocal done
+        if status != "ok" and attempt <= options.retries:
+            note(f"retrying {cells[index].label} ({payload})")
+            pending.append((index, attempt + 1))
+            return
+        outcome = CellOutcome(
+            cell=cells[index],
+            payload=payload if status == "ok" else None,
+            error=None if status == "ok" else str(payload),
+            elapsed=elapsed,
+            attempts=attempt,
+            phases=phases,
+        )
+        outcomes[index] = outcome
+        done += 1
+        _note_outcome(note, outcome, done, total)
+
+    try:
+        while done < total:
+            for slot in slots:
+                if slot.future is None and pending:
+                    index, attempt = pending.popleft()
+                    try:
+                        slot.submit(index, attempt, cells[index])
+                    except Exception as exc:
+                        finish(index, attempt, "error",
+                               f"{type(exc).__name__}: {exc}", 0.0, {})
+            busy = [slot for slot in slots if slot.future is not None]
+            if not busy:
+                continue
+            slack = min(slot.deadline for slot in busy) - time.monotonic()
+            completed, _ = wait(
+                {slot.future for slot in busy},
+                timeout=max(0.0, slack),
+                return_when=FIRST_COMPLETED,
             )
-            _note_outcome(note, outcomes[index], index + 1, total)
+            now = time.monotonic()
+            for slot in busy:
+                if slot.future in completed:
+                    index, attempt = slot.index, slot.attempt
+                    started, future = slot.started, slot.future
+                    slot.future = None
+                    slot.deadline = float("inf")
+                    try:
+                        status, payload, elapsed, phases = future.result()
+                    except Exception as exc:
+                        # The worker died mid-cell (SIGKILL, crash):
+                        # the executor is broken, so replace it.
+                        report.broken += 1
+                        slot.recycle()
+                        status = "error"
+                        payload = (
+                            f"worker died: {type(exc).__name__}: {exc}"
+                        )
+                        elapsed = now - started
+                        phases = {}
+                    finish(index, attempt, status, payload, elapsed,
+                           phases)
+                elif now >= slot.deadline:
+                    index, attempt = slot.index, slot.attempt
+                    elapsed = now - slot.started
+                    report.timeouts += 1
+                    slot.recycle()
+                    finish(
+                        index, attempt, "error",
+                        f"timed out after {elapsed:.1f}s (deadline "
+                        f"{options.task_timeout:.0f}s)",
+                        elapsed, {},
+                    )
+    finally:
+        for slot in slots:
+            if slot.future is not None:
+                # Interrupted mid-run: never leave a worker running.
+                slot.recycle()
+            else:
+                slot.close()
+        _LAST_REPORT = report
     return outcomes  # type: ignore[return-value]
 
 
@@ -652,8 +888,10 @@ __all__ = [
     "CacheStats",
     "CellOutcome",
     "EngineOptions",
+    "EngineReport",
     "TaskCell",
     "TraceCache",
     "default_cache_dir",
+    "last_engine_report",
     "run_cells",
 ]

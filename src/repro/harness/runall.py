@@ -331,6 +331,7 @@ def generate_report(
     task_timeout: float = 600.0,
     profiler: Optional[PhaseProfiler] = None,
     incremental: bool = False,
+    fault_plan=None,
 ) -> str:
     """Run everything; returns the report as markdown text.
 
@@ -355,6 +356,10 @@ def generate_report(
     byte-identical to a full run at every job count, warm and cold.
     Sections that degrade (failed cells) are never stored, so they
     re-run on the next invocation.
+
+    ``fault_plan`` (a :class:`repro.harness.chaos.FaultPlan`) is
+    forwarded to the engine — the chaos harness uses it to prove the
+    degradation contract above under injected worker faults.
     """
 
     def note(message: str) -> None:
@@ -420,7 +425,8 @@ def generate_report(
         suite, timing_window, functional_window, period, sections=pending
     )
     options = EngineOptions(
-        jobs=jobs, cache_dir=cache_dir, task_timeout=task_timeout
+        jobs=jobs, cache_dir=cache_dir, task_timeout=task_timeout,
+        fault_plan=fault_plan,
     )
     note(
         f"running {len(cells)} cells over {len(suite)} benchmarks "
@@ -462,6 +468,10 @@ def generate_report(
             profiler.count("section_cache_hits", stats.section_hits)
             profiler.count("section_cache_misses", stats.section_misses)
             profiler.count("section_cache_stores", stats.section_stores)
+            profiler.count("cache_corrupt_dropped", stats.corrupt_dropped)
+            profiler.count(
+                "cache_transient_errors", stats.transient_errors
+            )
 
     # The elapsed time goes to the progress channel, not the document,
     # so reports stay byte-comparable across runs and job counts.
@@ -470,4 +480,16 @@ def generate_report(
     render_seconds += time.perf_counter() - render_started
     if profiler is not None:
         profiler.note("render", render_seconds)
-    return out.getvalue()
+    text = out.getvalue()
+    # Gap-row invariant: every failed cell must surface as an explicit
+    # degradation annotation — a silently missing number is the one
+    # outcome the failure contract forbids.
+    for section_failures in failures_by_section.values():
+        for outcome in section_failures:
+            if f"(degraded: cell {outcome.cell.label} failed" not in text:
+                raise RuntimeError(
+                    f"report invariant violated: failed cell "
+                    f"{outcome.cell.label} ({outcome.error}) left no "
+                    f"degradation annotation in the document"
+                )
+    return text

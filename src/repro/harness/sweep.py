@@ -42,6 +42,7 @@ from typing import (
 )
 
 from repro.errors import UsageError
+from repro.harness import chaos
 from repro.harness.parallel import (
     CellOutcome,
     EngineOptions,
@@ -216,6 +217,17 @@ class SweepRow:
     elapsed: float = 0.0
     attempts: int = 1
 
+    def __post_init__(self):
+        # Gap-row invariant: a row either carries metrics or names its
+        # failure — never both, never neither.  A row violating this
+        # would render as a silent blank instead of an annotated gap.
+        if (self.metrics is None) == (self.error is None):
+            raise ValueError(
+                f"sweep row {self.workload!r} must set exactly one of "
+                f"metrics/error (metrics={self.metrics!r}, "
+                f"error={self.error!r})"
+            )
+
     @property
     def ok(self) -> bool:
         return self.error is None
@@ -287,6 +299,8 @@ class SweepOptions:
     use_cache: bool = True
     task_timeout: float = 600.0
     out_dir: Optional[str] = None
+    #: deterministic fault plan forwarded to the engine (chaos runs).
+    fault_plan: Optional[chaos.FaultPlan] = None
 
     def __post_init__(self):
         if self.jobs is not None and self.jobs < 1:
@@ -319,6 +333,8 @@ class SweepResult:
     jobs: int = 1
     elapsed_seconds: float = 0.0
     source: str = ""
+    #: corrupt cache entries detected and unlinked during the run.
+    corrupt_dropped: int = 0
 
     @property
     def ok(self) -> bool:
@@ -362,6 +378,7 @@ class SweepResult:
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "cells": len(self.rows),
             "cache_hits": self.cache_hits,
+            "corrupt_dropped": self.corrupt_dropped,
             "source": self.source,
             "rows": [row.meta_dict() for row in self.rows],
         })
@@ -455,15 +472,25 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 
 
-def _cache_hit(outcome: CellOutcome) -> bool:
-    """Did this cell's payload come from the cell cache?"""
+def _outcome_counters(outcome: CellOutcome) -> Mapping[str, int]:
     phases = outcome.phases or {}
     counters = (
         phases.get("counters", {}) if isinstance(phases, dict) else {}
     )
-    if not isinstance(counters, dict):
-        return False
-    return bool(counters.get("cell_cache_hits", 0))
+    return counters if isinstance(counters, dict) else {}
+
+
+def _cache_hit(outcome: CellOutcome) -> bool:
+    """Did this cell's payload come from the cell cache?"""
+    return bool(_outcome_counters(outcome).get("cell_cache_hits", 0))
+
+
+def _corrupt_dropped(outcomes: Sequence[CellOutcome]) -> int:
+    """Corrupt cache entries the run's workers detected and unlinked."""
+    return sum(
+        _outcome_counters(outcome).get("cache_corrupt_dropped", 0)
+        for outcome in outcomes
+    )
 
 
 def run_sweep(
@@ -486,6 +513,7 @@ def run_sweep(
         jobs=options.jobs,
         cache_dir=options.resolved_cache_dir(),
         task_timeout=options.task_timeout,
+        fault_plan=options.fault_plan,
     )
     if progress is not None:
         progress(
@@ -499,7 +527,14 @@ def run_sweep(
 
     rows = []
     for point in points:
-        outcome = by_cell[point_cell(spec, point)]
+        cell = point_cell(spec, point)
+        outcome = by_cell.get(cell)
+        if outcome is None:
+            raise RuntimeError(
+                f"engine invariant violated: no outcome for planned "
+                f"cell {cell.label} — every submitted cell must come "
+                f"back as a payload or an annotated gap"
+            )
         rows.append(SweepRow(
             workload=point.workload,
             opt_level=point.opt_level,
@@ -524,6 +559,7 @@ def run_sweep(
         jobs=engine.effective_jobs(),
         elapsed_seconds=time.perf_counter() - started,
         source=spec.source,
+        corrupt_dropped=_corrupt_dropped(outcomes),
     )
     if options.out_dir is not None:
         written = result.write_artifacts(options.out_dir)

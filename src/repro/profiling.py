@@ -174,6 +174,17 @@ def note(phase: str, seconds: float, items: int = 0) -> None:
         _ACTIVE.note(phase, seconds, items)
 
 
+def note_counter(name: str, n: int = 1) -> None:
+    """Bump a named counter on the active profiler; no-op when none.
+
+    Used by layers that count events rather than time phases — e.g.
+    the chaos fault injector tallying ``chaos_*_faults`` so a chaos
+    run's profile shows exactly which faults actually fired.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, n)
+
+
 @contextmanager
 def profiled(
     profiler: Optional[PhaseProfiler] = None,
@@ -195,6 +206,7 @@ __all__ = [
     "Snapshot",
     "active",
     "note",
+    "note_counter",
     "profiled",
     "swap",
 ]

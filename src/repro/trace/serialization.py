@@ -7,7 +7,8 @@ with EIO traces.  Since the in-memory representation is already
 columnar (:class:`~repro.trace.columnar.ColumnarTrace`), the file is
 just the columns back to back::
 
-    magic   6 bytes   b"SVFT\\x03\\x00"
+    magic   6 bytes   b"SVFT\\x04\\x00"
+    crc32   <I        zlib.crc32 of everything after this field
     count   <Q        number of records
     pc      count * 8 bytes, little-endian uint64
     opcode  count bytes (repro.isa.encoding.OPCODE_NUMBERS)
@@ -26,14 +27,19 @@ just the columns back to back::
 
 One ``tobytes``/``frombytes`` per column replaces one ``struct`` call
 per record, so saving/loading is dominated by raw I/O.  The magic
-header guards against version skew: files written by the old
-record-per-struct format (``SVFT\\x02``) are rejected, not misread.
+header guards against version skew: files written by the old formats
+(``SVFT\\x02`` records, ``SVFT\\x03`` checksum-less columns) are
+rejected, not misread.  The CRC covers the count and every column, so
+a bit-flip anywhere in a cached trace is a :class:`TraceFormatError`
+on load — never a silently wrong simulation input (the chaos harness
+injects exactly that fault to prove it).
 """
 
 from __future__ import annotations
 
 import struct
 import sys
+import zlib
 from array import array
 from typing import BinaryIO, Iterable
 
@@ -41,9 +47,10 @@ from repro.isa.encoding import OPCODE_NAMES
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import TraceRecord
 
-MAGIC = b"SVFT\x03\x00"
+MAGIC = b"SVFT\x04\x00"
 
 _COUNT = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
 
 #: (column name, array typecode or None for bytearray) in file order.
 COLUMN_LAYOUT = (
@@ -82,10 +89,17 @@ def _column_to_bytes(column) -> bytes:
 
 def _write_columns(stream: BinaryIO, trace: ColumnarTrace) -> int:
     count = len(trace)
+    blobs = [_COUNT.pack(count)]
+    blobs += [
+        _column_to_bytes(getattr(trace, name)) for name, _ in COLUMN_LAYOUT
+    ]
+    crc = 0
+    for blob in blobs:
+        crc = zlib.crc32(blob, crc)
     stream.write(MAGIC)
-    stream.write(_COUNT.pack(count))
-    for name, _ in COLUMN_LAYOUT:
-        stream.write(_column_to_bytes(getattr(trace, name)))
+    stream.write(_CRC.pack(crc))
+    for blob in blobs:
+        stream.write(blob)
     return count
 
 
@@ -154,10 +168,13 @@ def load_trace(path: str) -> ColumnarTrace:
     """Read a trace written by :func:`save_trace` / :class:`TraceWriter`."""
     with open(path, "rb") as stream:
         blob = stream.read()
-    header_size = len(MAGIC) + _COUNT.size
+    header_size = len(MAGIC) + _CRC.size + _COUNT.size
     if blob[: len(MAGIC)] != MAGIC or len(blob) < header_size:
         raise TraceFormatError(f"bad trace header in {path!r}")
-    (count,) = _COUNT.unpack_from(blob, len(MAGIC))
+    (crc,) = _CRC.unpack_from(blob, len(MAGIC))
+    if zlib.crc32(memoryview(blob)[len(MAGIC) + _CRC.size:]) != crc:
+        raise TraceFormatError(f"checksum mismatch in {path!r}")
+    (count,) = _COUNT.unpack_from(blob, len(MAGIC) + _CRC.size)
     trace = ColumnarTrace()
     offset = header_size
     for name, typecode in COLUMN_LAYOUT:

@@ -69,6 +69,8 @@ def test_docstrings_on_public_classes():
 
 FACADE_SURFACE = {
     "CertifyResult",
+    "ChaosOptions",
+    "ChaosResult",
     "CompileOptions",
     "EXPERIMENT_NAMES",
     "ExperimentResult",
@@ -81,6 +83,8 @@ FACADE_SURFACE = {
     "UsageError",
     "certify",
     "certify_json",
+    "chaos_check",
+    "chaos_json",
     "characterize",
     "compile_source",
     "experiment",
