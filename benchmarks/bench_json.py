@@ -1,0 +1,65 @@
+"""Machine-readable companions for the measure scripts.
+
+Each ``benchmarks/measure_*.py`` script writes, next to its
+human-readable ``.txt`` artifact, a ``BENCH_<name>.json`` document::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<name>",
+      "host": { ...everything host-specific... },
+      "results": { ...host-independent structure... }
+    }
+
+The split is deliberate: ``results`` carries the measured numbers and
+their structure (still host-*dependent* in value, but free of host
+*identity*), while everything that identifies or describes the
+machine — CPU count, platform string, Python version, the timestamp —
+is quarantined under ``host``.  Tooling that diffs runs across
+machines compares ``results`` and treats ``host`` as provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+#: Bump when the envelope shape (not a script's results payload)
+#: changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def host_metadata() -> dict:
+    """Everything that identifies the measuring machine."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "measured_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+    }
+
+
+def write_bench_json(name: str, results: dict) -> Path:
+    """Write ``BENCH_<name>.json``; returns the path written.
+
+    ``results`` must already be JSON-serializable and must not embed
+    host metadata — that belongs in the quarantined ``host`` block
+    this helper adds.
+    """
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": name,
+        "host": host_metadata(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from time import perf_counter
 
+from bench_json import write_bench_json
 from repro.core.traffic import TrafficSimulator, simulate_traffic
 from repro.emulator.memory import STACK_BASE
 from repro.trace.analysis import (
@@ -102,6 +103,11 @@ def main() -> int:
     ]
     worst_python = None
     worst_numpy = None
+    results = {
+        "window": args.window,
+        "repeats": args.repeats,
+        "workloads": {},
+    }
     for name in WORKLOADS:
         trace = workload(name).trace(max_instructions=args.window)
         append = best_seconds(lambda: run_append(trace), args.repeats)
@@ -130,6 +136,13 @@ def main() -> int:
             speedup = "-" if ratio is None else f"{ratio:.2f}x"
             lines.append(f"  {label:8s} {seconds:8.3f}s {speedup:>9s}")
         lines.append("")
+        results["workloads"][name] = {
+            label: {
+                "seconds": round(seconds, 6),
+                "speedup": None if ratio is None else round(ratio, 2),
+            }
+            for label, seconds, ratio in rows
+        }
     lines.append(
         f"Worst-case pure-python speedup: {worst_python:.2f}x "
         f"(acceptance bar: >= 3x)"
@@ -148,8 +161,15 @@ def main() -> int:
     )
     text = "\n".join(lines) + "\n"
     RESULTS.write_text(text)
+    results["worst_case_python_speedup"] = round(worst_python, 2)
+    results["worst_case_numpy_speedup"] = (
+        None if worst_numpy is None else round(worst_numpy, 2)
+    )
+    results["acceptance_bar"] = 3.0
+    json_path = write_bench_json("analysis", results)
     print(text)
     print(f"wrote {RESULTS}")
+    print(f"wrote {json_path}")
     return 0 if worst_python >= 3.0 else 1
 
 

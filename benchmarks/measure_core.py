@@ -22,6 +22,7 @@ import argparse
 import time
 from pathlib import Path
 
+from bench_json import write_bench_json
 from repro.profiling import PhaseProfiler, profiled
 from repro.uarch.config import table2_config
 from repro.uarch.pipeline import simulate
@@ -75,6 +76,12 @@ def main() -> int:
         "",
     ]
     worst_ratio = None
+    results = {
+        "window": args.window,
+        "repeats": args.repeats,
+        "baseline_commit": "04f50a5",
+        "workloads": {},
+    }
     for name, baseline in BASELINES.items():
         profiler = best_of(name, args.window, args.repeats)
         lines.append(f"{name} ({args.window:,} instructions)")
@@ -82,16 +89,28 @@ def main() -> int:
             f"  {'phase':10s} {'before':>9s} {'after':>9s} {'speedup':>9s}"
         )
         total_after = 0.0
+        phase_rows = {}
         for phase in ("compile", "emulate", "timing"):
             after = profiler.phases[phase].seconds
             total_after += after
             before = baseline[phase]
+            phase_rows[phase] = {
+                "before_s": before,
+                "after_s": round(after, 6),
+                "speedup": round(before / after, 2),
+            }
             lines.append(
                 f"  {phase:10s} {before:8.3f}s {after:8.3f}s "
                 f"{before / after:8.2f}x"
             )
         ratio = baseline["total"] / total_after
         worst_ratio = ratio if worst_ratio is None else min(worst_ratio, ratio)
+        phase_rows["total"] = {
+            "before_s": baseline["total"],
+            "after_s": round(total_after, 6),
+            "speedup": round(ratio, 2),
+        }
+        results["workloads"][name] = phase_rows
         lines.append(
             f"  {'total':10s} {baseline['total']:8.3f}s {total_after:8.3f}s "
             f"{ratio:8.2f}x"
@@ -111,8 +130,12 @@ def main() -> int:
     )
     text = "\n".join(lines) + "\n"
     RESULTS.write_text(text)
+    results["worst_case_speedup"] = round(worst_ratio, 2)
+    results["acceptance_bar"] = 2.0
+    json_path = write_bench_json("core", results)
     print(text)
     print(f"wrote {RESULTS}")
+    print(f"wrote {json_path}")
     return 0 if worst_ratio >= 2.0 else 1
 
 

@@ -12,31 +12,88 @@ cache the second run left behind.  Every run's markdown is compared
 byte-for-byte, so the artifact doubles as a determinism check.
 ``--seed-seconds`` records an externally measured wall clock of the
 pre-engine serial harness for the before/after row.
+
+Each measurement runs in a fresh interpreter (``--run-one`` re-invokes
+this script).  Worker processes fork from the measuring interpreter,
+so a "cold" parallel run timed inside a long-lived parent would hand
+its children warm module-level state — decoded programs, in-process
+trace caches — left behind by an earlier run and report a fictitious
+speedup.  A subprocess per measurement is the only reliable cold
+start.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
 
-from repro.harness.runall import generate_report
+from bench_json import write_bench_json
 
 RESULTS = Path(__file__).parent / "results" / "parallel_report_timing.txt"
 
 
-def timed_run(jobs: int, cache_dir: str, windows) -> tuple:
+def run_one(args) -> int:
+    """Child mode: one timed full-suite run, JSON result on stdout."""
+    from repro.harness import parallel as engine
+    from repro.harness.runall import generate_report
+
     started = time.perf_counter()
     text = generate_report(
-        timing_window=windows[0],
-        functional_window=windows[1],
-        jobs=jobs,
-        cache_dir=cache_dir,
+        timing_window=args.timing_window,
+        functional_window=args.functional_window,
+        jobs=args.run_one,
+        cache_dir=args.cache_dir,
     )
-    return time.perf_counter() - started, text
+    elapsed = time.perf_counter() - started
+    Path(args.text_out).write_text(text)
+    report = engine.last_engine_report()
+    shm_used = report is not None and report.shm_prefix is not None
+    print(
+        json.dumps(
+            {
+                "seconds": elapsed,
+                "shm_used": shm_used,
+                "shm_segments": report.shm_segments if shm_used else 0,
+                "shm_bytes": report.shm_bytes if shm_used else 0,
+            }
+        )
+    )
+    return 0
+
+
+def timed_run(jobs: int, cache_dir: str, windows) -> tuple:
+    """Time one full-suite run in a fresh interpreter."""
+    text_out = Path(cache_dir) / f"report-jobs{jobs}.md"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            __file__,
+            "--run-one",
+            str(jobs),
+            "--cache-dir",
+            cache_dir,
+            "--text-out",
+            str(text_out),
+            "--timing-window",
+            str(windows[0]),
+            "--functional-window",
+            str(windows[1]),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    payload = json.loads(proc.stdout.strip().splitlines()[-1])
+    text = text_out.read_text()
+    text_out.unlink()
+    return payload, text
 
 
 def main() -> int:
@@ -45,26 +102,34 @@ def main() -> int:
     cli.add_argument("--timing-window", type=int, default=40_000)
     cli.add_argument("--functional-window", type=int, default=80_000)
     cli.add_argument("--seed-seconds", type=float, default=None)
+    cli.add_argument("--run-one", type=int, default=None, help=argparse.SUPPRESS)
+    cli.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    cli.add_argument("--text-out", default=None, help=argparse.SUPPRESS)
     args = cli.parse_args()
+    if args.run_one is not None:
+        return run_one(args)
     windows = (args.timing_window, args.functional_window)
 
     cold_serial_dir = tempfile.mkdtemp(prefix="repro-measure-")
     cold_parallel_dir = tempfile.mkdtemp(prefix="repro-measure-")
     try:
-        serial_s, serial_text = timed_run(1, cold_serial_dir, windows)
-        parallel_s, parallel_text = timed_run(
+        serial, serial_text = timed_run(1, cold_serial_dir, windows)
+        parallel, parallel_text = timed_run(
             args.jobs, cold_parallel_dir, windows
         )
-        warm_s, warm_text = timed_run(args.jobs, cold_parallel_dir, windows)
+        warm, warm_text = timed_run(args.jobs, cold_parallel_dir, windows)
     finally:
         shutil.rmtree(cold_serial_dir, ignore_errors=True)
         shutil.rmtree(cold_parallel_dir, ignore_errors=True)
 
+    serial_s = serial["seconds"]
+    parallel_s = parallel["seconds"]
+    warm_s = warm["seconds"]
     identical = serial_text == parallel_text == warm_text
     lines = [
         "Parallel report engine: full-suite wall clock",
         f"(windows: {windows[0]:,} timing / {windows[1]:,} functional; "
-        f"host: {os.cpu_count()} CPU(s))",
+        f"host: {os.cpu_count()} CPU(s); each run in a fresh interpreter)",
         "",
         f"{'configuration':42s} {'seconds':>8s}",
     ]
@@ -93,13 +158,41 @@ def main() -> int:
     if (os.cpu_count() or 1) == 1:
         lines.append(
             "caveat: single-CPU host — the worker pool timeshares one "
-            "core, so the --jobs axis cannot show parallel speedup here; "
-            "the cross-run win comes from the trace/cell cache."
+            "core, so the --jobs axis cannot show parallel speedup here "
+            "(expect <= 1x from pool + fan-out overhead); the cross-run "
+            "win comes from the trace/cell cache."
         )
+    shm_used = parallel["shm_used"]
+    lines.append(
+        "shared-memory trace fan-out (cold parallel run): "
+        + (
+            f"{parallel['shm_segments']} segments, "
+            f"{parallel['shm_bytes']:,} bytes, swept clean"
+            if shm_used
+            else "not used (serial run or no /dev/shm)"
+        )
+    )
     text = "\n".join(lines)
     print(text)
     RESULTS.write_text(text + "\n")
+    results = {
+        "timing_window": windows[0],
+        "functional_window": windows[1],
+        "jobs": args.jobs,
+        "seed_serial_seconds": args.seed_seconds,
+        "engine_jobs1_cold_seconds": round(serial_s, 3),
+        "engine_cold_seconds": round(parallel_s, 3),
+        "engine_warm_seconds": round(warm_s, 3),
+        "reports_byte_identical": identical,
+        "shared_memory": {
+            "used": shm_used,
+            "segments": parallel["shm_segments"],
+            "fanout_bytes": parallel["shm_bytes"],
+        },
+    }
+    json_path = write_bench_json("parallel", results)
     print(f"\nwrote {RESULTS}")
+    print(f"wrote {json_path}")
     return 0 if identical else 1
 
 

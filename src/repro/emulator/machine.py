@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import List, Optional
 
 from repro import profiling
+from repro.emulator import superblock as _superblock
 from repro.emulator.memory import (
     DATA_BASE,
     Memory,
@@ -246,6 +247,14 @@ class Machine:
         # Sentinel return address: returning here halts the machine.
         self._halt_address = TEXT_BASE + 4 * len(program.instructions) + 4
         self.registers[RA] = self._halt_address
+        # Superblock template cache, keyed on pc_index.  Text is
+        # immutable, so entries are never invalidated: False = not yet
+        # examined, None = region too short to template, else a
+        # compiled SuperblockTemplate.
+        self._superblocks: dict = {}
+        self._superblock_builds = 0
+        self._superblock_replays = 0
+        self._superblock_replayed = 0
 
     @staticmethod
     def _decode(instr):
@@ -376,9 +385,33 @@ class Machine:
         num_instructions = len(decoded)
 
         columns = trace_sink if isinstance(trace_sink, ColumnarTrace) else None
+        superblocks = None
+        sb_builds = sb_replays = sb_replayed = 0
         if columns is not None:
             emit = None
             emit_cols = self._emit_cols
+            if _superblock._ENABLED:
+                superblocks = self._superblocks
+                sb_get = superblocks.get
+                sb_build = _superblock.build_template
+                output_append = self.output.append
+                mem_words = memory._words
+                # Batch appenders for the 12 static columns, bound once
+                # per run call and shared by every template replay.
+                sb_emitters = (
+                    columns.pc.frombytes,
+                    columns.opcode.extend,
+                    columns.flags.extend,
+                    columns.size.extend,
+                    columns.base.frombytes,
+                    columns.dst.frombytes,
+                    columns.nsrc.extend,
+                    columns.src0.extend,
+                    columns.src1.extend,
+                    columns.disp.frombytes,
+                    columns.spimm.frombytes,
+                    columns.next_pc.frombytes,
+                )
             col_pc = columns.pc.append
             col_opcode = columns.opcode.append
             col_flags = columns.flags.append
@@ -403,6 +436,27 @@ class Machine:
                     f"pc out of range: index {pc_index} "
                     f"(0x{text_base + 4 * pc_index:x})"
                 )
+            if superblocks is not None:
+                template = sb_get(pc_index, False)
+                if template is False:
+                    template = sb_build(
+                        decoded, emit_cols, pc_index, text_base
+                    )
+                    superblocks[pc_index] = template
+                    if template is not None:
+                        sb_builds += 1
+                if template is not None and (
+                    stop is None or count + template.length <= stop
+                ):
+                    template.replay(
+                        registers, mem_words, mem_load, mem_load_signed,
+                        mem_store, output_append, columns, sb_emitters,
+                    )
+                    count += template.length
+                    pc_index = template.end_index
+                    sb_replays += 1
+                    sb_replayed += template.length
+                    continue
             (
                 kind,
                 fn,
@@ -548,10 +602,20 @@ class Machine:
         executed = count - self.instruction_count
         self.instruction_count = count
         self._pc_index = pc_index
+        self._superblock_builds += sb_builds
+        self._superblock_replays += sb_replays
+        self._superblock_replayed += sb_replayed
         if profiler is not None:
             profiler.note(
                 "emulate", perf_counter() - profile_started, executed
             )
+            if sb_builds:
+                profiler.count("superblock_builds", sb_builds)
+            if sb_replays:
+                profiler.count("superblock_replays", sb_replays)
+                profiler.count(
+                    "superblock_replayed_instructions", sb_replayed
+                )
         return executed
 
     def _index_of(self, address: int) -> int:

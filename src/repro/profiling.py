@@ -137,8 +137,13 @@ class PhaseProfiler:
             )
         if self.counters:
             lines.append("cache counters:")
+            # Width fits the longest name (the superblock and shm
+            # counters outgrew the old fixed column).
+            width = max(24, max(len(name) for name in self.counters))
             for name in sorted(self.counters):
-                lines.append(f"  {name:24s} {self.counters[name]:8d}")
+                lines.append(
+                    f"  {name:{width}s} {self.counters[name]:10d}"
+                )
         return "\n".join(lines)
 
 

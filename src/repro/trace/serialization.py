@@ -164,6 +164,90 @@ def save_trace(trace: Iterable, path: str) -> int:
         return write_trace(stream, trace)
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory buffer payloads
+# ---------------------------------------------------------------------------
+
+#: Commit record of a shared-buffer payload (see :func:`pack_shared`).
+SHARED_MAGIC = b"SVFS\x04\x00"
+
+#: Header: magic (6) + pad (2) + count (<Q) = 16 bytes, so the wide
+#: columns that follow stay 8-byte aligned for zero-copy casts.
+_SHARED_HEADER = 16
+
+#: Buffer column order: wide columns first (alignment), then bytes.
+SHARED_ORDER = tuple(
+    sorted(COLUMN_LAYOUT, key=lambda item: item[1] is None)
+)
+
+_BYTES_PER_RECORD = sum(
+    1 if typecode is None else array(typecode).itemsize
+    for _, typecode in COLUMN_LAYOUT
+)
+
+
+def shared_payload_size(count: int) -> int:
+    """Bytes needed to pack a ``count``-record trace into a buffer."""
+    return _SHARED_HEADER + count * _BYTES_PER_RECORD
+
+
+def pack_shared(buffer, trace: ColumnarTrace) -> int:
+    """Pack ``trace`` into a writable buffer; returns bytes written.
+
+    The columns and the record count are written first and the magic
+    *last*: the magic is the commit record, so a writer killed mid-pack
+    (the chaos harness does exactly that to workers) leaves a buffer
+    that :func:`unpack_shared` reports as absent — a torn payload can
+    never be attached as a valid trace.
+    """
+    view = memoryview(buffer)
+    count = len(trace)
+    size = shared_payload_size(count)
+    if len(view) < size:
+        raise ValueError(
+            f"shared buffer too small: {len(view)} < {size} bytes"
+        )
+    offset = _SHARED_HEADER
+    for name, _ in SHARED_ORDER:
+        # Native byte order: a shared buffer never leaves this host,
+        # so unlike the file format there is no byteswap on the way
+        # in or out.
+        blob = memoryview(getattr(trace, name)).cast("B")
+        view[offset : offset + len(blob)] = blob
+        offset += len(blob)
+    view[6:8] = b"\x00\x00"
+    _COUNT.pack_into(view, 8, count)
+    view[:6] = SHARED_MAGIC
+    return size
+
+
+def unpack_shared(buffer):
+    """Read-only column views over a packed buffer, or ``None``.
+
+    Returns ``{column name: memoryview}`` with each view cast to the
+    column's element type, or ``None`` when the buffer carries no
+    committed payload (bad magic, impossible count) — the caller
+    treats that as a cache miss, never an error.
+    """
+    view = memoryview(buffer).toreadonly()
+    if len(view) < _SHARED_HEADER or bytes(view[:6]) != SHARED_MAGIC:
+        return None
+    (count,) = _COUNT.unpack_from(view, 8)
+    if shared_payload_size(count) > len(view):
+        return None
+    columns = {}
+    offset = _SHARED_HEADER
+    for name, typecode in SHARED_ORDER:
+        if typecode is None:
+            width = count
+            columns[name] = view[offset : offset + width]
+        else:
+            width = count * array(typecode).itemsize
+            columns[name] = view[offset : offset + width].cast(typecode)
+        offset += width
+    return columns
+
+
 def load_trace(path: str) -> ColumnarTrace:
     """Read a trace written by :func:`save_trace` / :class:`TraceWriter`."""
     with open(path, "rb") as stream:

@@ -35,10 +35,22 @@ The stack unit is pluggable (``config.svf.mode``):
     and refill from the L2; every miss moves whole lines.
 
 The loop reads the trace column-wise (:class:`ColumnarTrace`; other
-iterables are packed on entry) and probes the per-cycle resource pools
-as raw ``{cycle: used}`` dicts — the structural semantics of
-:class:`repro.uarch.resources.CyclePool`, inlined because pool probes
-dominate the profile.
+iterables are packed on entry).  Two implementations share the exact
+cycle-for-cycle semantics and are differentially gated against each
+other:
+
+* :func:`_simulate_reference` — the pure-python reference walk.  It
+  probes the per-cycle resource pools as raw ``{cycle: used}`` dicts
+  (the structural semantics of
+  :class:`repro.uarch.resources.CyclePool`, inlined because pool
+  probes dominate the profile).
+* :func:`_simulate_fast` — the vectorized-window walk, used when the
+  numpy backend is enabled.  Columns become flat lists once, derived
+  per-instruction values (quad-word address, stack-region test, FU
+  latency class) are precomputed as whole-column numpy expressions,
+  and the occupancy pools live in dense
+  :class:`~repro.uarch.resources.CycleWindow` windows so each
+  probe/take is two list indexings instead of dict hashing.
 """
 
 from __future__ import annotations
@@ -53,11 +65,13 @@ from repro.core.svf import StackValueFile
 from repro.isa.encoding import OPCODE_NUMBERS
 from repro.isa.instructions import OPCODES, OpClass
 from repro.isa.registers import NUM_REGISTERS, SP
+from repro.trace import columnar as _columnar
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.regions import STACK_REGION_FLOOR
 from repro.uarch.bpred import make_predictor
 from repro.uarch.cache import build_hierarchy
 from repro.uarch.config import MachineConfig
+from repro.uarch.resources import CycleWindow
 from repro.uarch.stats import SimStats
 
 _DIV_OPS = ("divq", "remq")
@@ -78,11 +92,23 @@ _R_SC = 3
 
 
 def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
-    """Run the timing model over a trace; returns :class:`SimStats`."""
-    profiler = profiling.active()
-    profile_started = perf_counter() if profiler is not None else 0.0
+    """Run the timing model over a trace; returns :class:`SimStats`.
+
+    Dispatches to the vectorized-window walk when the numpy backend is
+    enabled (:func:`repro.trace.columnar.set_numpy_enabled`), else to
+    the pure-python reference walk; the two are cycle-identical.
+    """
     if not isinstance(trace, ColumnarTrace):
         trace = ColumnarTrace.from_records(trace)
+    if _columnar._np is not None and _columnar._NUMPY_ENABLED:
+        return _simulate_fast(trace, config)
+    return _simulate_reference(trace, config)
+
+
+def _simulate_reference(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
+    """Pure-python reference walk (dict pools; see module docstring)."""
+    profiler = profiling.active()
+    profile_started = perf_counter() if profiler is not None else 0.0
     stats = SimStats(config_name=config.name)
     predictor = make_predictor(config.branch_predictor)
     # Perfect prediction is the common case; skip the call entirely.
@@ -469,6 +495,558 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     stats.dl1_hits = dl1.hits
     stats.dl1_misses = dl1.misses
     stats.l2_misses = l2.misses
+    if stack_cache is not None:
+        stats.stack_cache_hits = stack_cache.hits
+        stats.stack_cache_misses = stack_cache.misses
+    if svf is not None:
+        stats.svf_fills = svf.fills
+    if adaptive:
+        stats.extras["svf_disables"] = disables
+    if switch_period:
+        stats.extras["context_switches"] = switches
+        stats.extras["switch_writeback_bytes"] = switch_bytes
+    if profiler is not None:
+        profiler.note("timing", perf_counter() - profile_started, n)
+    return stats
+
+
+def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
+    """Vectorized-window walk (numpy-gated; see module docstring).
+
+    Cycle-for-cycle identical to :func:`_simulate_reference` — the
+    differential gate in ``tests/test_pipeline_vectorized.py`` holds
+    the two walks equal on every workload and config family.  The
+    speedups are structural, not semantic: columns become flat python
+    lists once, derived per-instruction values are precomputed as
+    whole-column numpy expressions, resource pools are dense
+    :class:`~repro.uarch.resources.CycleWindow` occupancy windows, the
+    IFQ/RUU/LSQ rings read the dispatch/commit history lists directly,
+    and the memory-completion helper is inlined route by route.
+    """
+    profiler = profiling.active()
+    profile_started = perf_counter() if profiler is not None else 0.0
+    np = _columnar._np
+    stats = SimStats(config_name=config.name)
+    predictor = make_predictor(config.branch_predictor)
+    predict_bits = getattr(predictor, "predict_bits", None)
+    if config.branch_predictor == "perfect":
+        predict_bits = None
+    dl1, l2 = build_hierarchy(config.dl1, config.l2, config.memory_latency)
+
+    svf_conf = config.svf
+    mode = svf_conf.mode
+    svf: Optional[StackValueFile] = None
+    stack_cache: Optional[StackCache] = None
+    if mode == "svf":
+        svf = StackValueFile(
+            capacity_bytes=svf_conf.capacity_bytes,
+            granularity=svf_conf.granularity,
+        )
+        svf.writeback_sink = lambda addr: dl1.access(addr, is_write=True)
+    elif mode == "stack_cache":
+        stack_cache = StackCache(capacity_bytes=svf_conf.capacity_bytes)
+
+    n = len(trace.pc)
+
+    # ------------------------------- columns as flat lists + precompute
+    flags_l = list(trace.flags)
+    opcode_l = list(trace.opcode)
+    size_l = list(trace.size)
+    nsrc_l = list(trace.nsrc)
+    src0_l = list(trace.src0)
+    src1_l = list(trace.src1)
+    base_l = trace.base.tolist()
+    dst_l = trace.dst.tolist()
+    sp_l = trace.sp.tolist()
+    spimm_l = trace.spimm.tolist()
+    addr_l = trace.addr.tolist()
+    pc_l = trace.pc.tolist() if predict_bits is not None else None
+    if n:
+        flags_np = np.frombuffer(trace.flags, dtype=np.uint8)
+        addr_np = np.frombuffer(trace.addr, dtype="<u8")
+        opcode_np = np.frombuffer(trace.opcode, dtype=np.uint8)
+        qw_l = (addr_np & np.uint64(0xFFFF_FFFF_FFFF_FFF8)).tolist()
+        on_stack_l = (addr_np >= np.uint64(STACK_REGION_FLOOR)).tolist()
+        fu_latency_l = np.asarray(_MULT_LATENCY, dtype=np.int64)[
+            opcode_np
+        ].tolist()
+        total_branches = int(np.count_nonzero(flags_np & 4))
+    else:
+        qw_l = []
+        on_stack_l = []
+        fu_latency_l = []
+        total_branches = 0
+
+    # --------------------------------------- dense occupancy windows
+    # The horizon tracks the highest commit cycle so far; every cycle
+    # any probe can touch this instruction is bounded by the horizon
+    # plus one worst-case latency/penalty chain, so one growth check
+    # per instruction keeps every list indexing in bounds.
+    fetch_width = config.decode_width
+    dispatch_width = config.decode_width
+    issue_width = config.issue_width
+    commit_width = config.commit_width
+    alu_width = config.int_alus
+    mult_width = config.int_mults
+    dl1_width = config.dl1_ports
+    stack_width = svf_conf.ports
+    forward_latency = config.store_forward_latency
+    margin = (
+        256
+        + config.frontend_depth
+        + config.agu_depth
+        + 24
+        + 2 * (config.dl1.latency + config.l2.latency
+               + config.memory_latency)
+        + config.mispredict_redirect
+        + svf_conf.squash_penalty
+        + config.context_switch_overhead
+        + forward_latency
+    )
+    capacity = n + margin + 64
+    windows = [
+        CycleWindow("issue", issue_width, capacity),
+        CycleWindow("alu", alu_width, capacity),
+        CycleWindow("mult", mult_width, capacity),
+        CycleWindow("dl1_ports", dl1_width, capacity),
+    ]
+    issue_slots = windows[0].slots
+    alu_slots = windows[1].slots
+    mult_slots = windows[2].slots
+    dl1_slots = windows[3].slots
+    stack_slots = None
+    if mode in ("svf", "stack_cache"):
+        stack_window = CycleWindow("stack_ports", stack_width, capacity)
+        windows.append(stack_window)
+        stack_slots = stack_window.slots
+    bank_slots = None
+    num_banks = svf_conf.banks
+    if mode == "svf" and num_banks > 0:
+        bank_windows = [
+            CycleWindow(f"svf_bank{i}", 1, capacity)
+            for i in range(num_banks)
+        ]
+        windows.extend(bank_windows)
+        bank_slots = [w.slots for w in bank_windows]
+    pool_len = capacity
+
+    reg_ready = [0] * NUM_REGISTERS
+    entry_ready = {}
+    last_store = {}
+    pending_gpr_store = {}
+    er_get = entry_ready.get
+    ls_get = last_store.get
+    pg_get = pending_gpr_store.get
+
+    ifq_size = config.ifq_size
+    ruu_size = config.ruu_size
+    lsq_size = config.lsq_size
+    # Ring heads read the dispatch/commit/LSQ-commit history directly:
+    # the head of a size-k ring fed once per instruction is the value
+    # appended k instructions ago.
+    disp_hist: list = []
+    disp_append = disp_hist.append
+    commit_hist: list = []
+    commit_append = commit_hist.append
+    lsq_hist: list = []
+    lsq_append = lsq_hist.append
+    mem_count = 0
+
+    redirect_at = 0
+    decode_block = 0
+    horizon = 0
+    # Fetch/dispatch/commit floors are provably non-decreasing (every
+    # floor term — redirect_at, the ring heads, the previous cycle of
+    # the same stage, decode_block — only ever grows), so each of the
+    # three pools collapses to a scalar (current cycle, units used)
+    # pair: a probe either lands on the current cycle, advances one
+    # when it is full, or jumps forward to a higher floor.  Cycles the
+    # floor jumps over can never be probed again.
+    fetch_cur = -1
+    fetch_cnt = fetch_width
+    disp_cur = -1
+    disp_cnt = dispatch_width
+    commit_cur = 0
+    commit_cnt = 0
+    sp_seen = svf is None
+    adaptive = svf_conf.adaptive and mode == "svf"
+    svf_disabled_until = -1
+    window_end = svf_conf.adaptive_window
+    window_squashes = 0
+    disables = 0
+    frontend_depth = config.frontend_depth
+    dl1_latency = config.dl1.latency
+    agu_depth = config.agu_depth
+    no_addr_calc = config.no_addr_calc
+    spec_sp = svf_conf.spec_sp
+    mispredict_redirect = config.mispredict_redirect
+    sp_block_mode = mode in ("svf", "ideal")
+    mode_ideal = mode == "ideal"
+    mode_svf = mode == "svf"
+    mode_sc = mode == "stack_cache"
+    svf_fast_latency = svf_conf.fast_latency
+    reroute_latency = svf_conf.reroute_latency
+    no_squash = svf_conf.no_squash
+    squash_penalty = svf_conf.squash_penalty
+    adaptive_threshold = svf_conf.adaptive_threshold
+    adaptive_off_period = svf_conf.adaptive_off_period
+    adaptive_window = svf_conf.adaptive_window
+    sp_reg = SP
+    lda_op = _LDA
+    dl1_access = dl1.access
+    svf_access = svf.access if svf is not None else None
+    svf_covers = svf.covers if svf is not None else None
+
+    switch_period = config.context_switch_period
+    switch_overhead = config.context_switch_overhead
+    switch_bytes = 0
+    switches = 0
+
+    branches = 0
+    mispredictions = 0
+    stores = 0
+    loads = 0
+    store_forwards = 0
+    fast_stores = 0
+    fast_loads = 0
+    rerouted = 0
+    out_of_range = 0
+    squashes = 0
+
+    for index in range(n):
+        if horizon + margin >= pool_len:
+            minimum = horizon + 2 * margin + 1024
+            for window in windows:
+                pool_len = window.grow(minimum)
+        flags = flags_l[index]
+        is_mem = flags & 3
+
+        # ------------------------------------------- context switches
+        if switch_period and index and index % switch_period == 0:
+            switches += 1
+            when = commit_cur + switch_overhead
+            if when > redirect_at:
+                redirect_at = when
+            if svf is not None:
+                switch_bytes += svf.context_switch()
+                entry_ready.clear()
+                pending_gpr_store.clear()
+            if stack_cache is not None:
+                switch_bytes += stack_cache.context_switch()
+            last_store.clear()
+
+        # ------------------------------------------------------ fetch
+        cycle = redirect_at
+        if index >= ifq_size:
+            head = disp_hist[index - ifq_size]
+            if head > cycle:
+                cycle = head
+        if cycle > fetch_cur:
+            fetch_cur = cycle
+            fetch_cnt = 1
+        elif fetch_cnt < fetch_width:
+            fetch_cnt += 1
+        else:
+            fetch_cur += 1
+            fetch_cnt = 1
+        fetch_cycle = fetch_cur
+
+        # ---------------------------------------------------- dispatch
+        cycle = fetch_cycle + frontend_depth
+        if disp_cur > cycle:
+            cycle = disp_cur
+        if decode_block > cycle:
+            cycle = decode_block
+        if index >= ruu_size:
+            head = commit_hist[index - ruu_size]
+            if head > cycle:
+                cycle = head
+        if is_mem and mem_count >= lsq_size:
+            head = lsq_hist[mem_count - lsq_size]
+            if head > cycle:
+                cycle = head
+        if cycle > disp_cur:
+            disp_cur = cycle
+            disp_cnt = 1
+        elif disp_cnt < dispatch_width:
+            disp_cnt += 1
+        else:
+            disp_cur += 1
+            disp_cnt = 1
+        dispatch_cycle = disp_cur
+        disp_append(dispatch_cycle)
+
+        if not sp_seen:
+            svf.update_sp(sp_l[index])
+            sp_seen = True
+
+        # ----------------------------------------------- routing
+        if adaptive and index >= window_end:
+            if window_squashes >= adaptive_threshold:
+                svf_disabled_until = index + adaptive_off_period
+                disables += 1
+                svf.context_switch()
+                pending_gpr_store.clear()
+            window_squashes = 0
+            window_end = index + adaptive_window
+
+        # -------------------------- routing, readiness, issue, latency
+        if is_mem:
+            addr = addr_l[index]
+            qw = qw_l[index]
+            on_stack = on_stack_l[index]
+            route = _R_DL1
+            if on_stack:
+                if mode_ideal:
+                    route = _R_FAST
+                elif mode_svf and (
+                    not adaptive or index >= svf_disabled_until
+                ):
+                    if svf_covers(addr):
+                        route = (
+                            _R_FAST
+                            if base_l[index] == sp_reg
+                            else _R_REROUTE
+                        )
+                    else:
+                        out_of_range += 1
+                elif mode_sc:
+                    route = _R_SC
+            drop_base = (route == _R_FAST and spec_sp) or (
+                no_addr_calc and on_stack
+            )
+            ready = dispatch_cycle + 1
+            if agu_depth and not drop_base:
+                ready += agu_depth
+            nsrc = nsrc_l[index]
+            if nsrc:
+                if drop_base:
+                    base = base_l[index]
+                    src = src0_l[index]
+                    if src != base and reg_ready[src] > ready:
+                        ready = reg_ready[src]
+                    if nsrc > 1:
+                        src = src1_l[index]
+                        if src != base and reg_ready[src] > ready:
+                            ready = reg_ready[src]
+                else:
+                    when = reg_ready[src0_l[index]]
+                    if when > ready:
+                        ready = when
+                    if nsrc > 1:
+                        when = reg_ready[src1_l[index]]
+                        if when > ready:
+                            ready = when
+            if route == _R_DL1:
+                port_slots = dl1_slots
+                port_width = dl1_width
+            elif route == _R_SC:
+                port_slots = stack_slots
+                port_width = stack_width
+            elif bank_slots is not None:
+                port_slots = bank_slots[(qw >> 3) % num_banks]
+                port_width = 1
+            else:  # svf ports, or None in ideal mode (no port limit)
+                port_slots = stack_slots
+                port_width = stack_width
+            cycle = ready
+            if port_slots is None:
+                used = issue_slots[cycle]
+                while used >= issue_width:
+                    cycle += 1
+                    used = issue_slots[cycle]
+                issue_slots[cycle] = used + 1
+            else:
+                while True:
+                    used = issue_slots[cycle]
+                    if used < issue_width:
+                        port_use = port_slots[cycle]
+                        if port_use < port_width:
+                            issue_slots[cycle] = used + 1
+                            port_slots[cycle] = port_use + 1
+                            break
+                    cycle += 1
+            issue_cycle = cycle
+            is_store = flags & 2
+            if is_store:
+                stores += 1
+            else:
+                loads += 1
+            # Inlined _memory_complete, route by route.
+            if route == _R_DL1:
+                if is_store:
+                    dl1_access(addr, True)
+                    complete = issue_cycle + 1
+                    last_store[qw] = (index, complete)
+                else:
+                    forwarded = ls_get(qw)
+                    if forwarded is not None and forwarded[1] > issue_cycle:
+                        store_forwards += 1
+                        when = forwarded[1]
+                        complete = (
+                            issue_cycle if issue_cycle > when else when
+                        ) + forward_latency
+                    else:
+                        complete = issue_cycle + dl1_access(addr)
+            elif route == _R_FAST:
+                fast_latency = svf_fast_latency
+                if svf is not None:
+                    outcome = svf_access(addr, size_l[index], is_store != 0)
+                    if outcome.filled:
+                        fast_latency = dl1_access(addr) + 1
+                if is_store:
+                    fast_stores += 1
+                    complete = issue_cycle + svf_fast_latency
+                    entry_ready[qw] = complete
+                else:
+                    fast_loads += 1
+                    complete = issue_cycle + fast_latency
+                    when = er_get(qw, 0) + 1
+                    if when > complete:
+                        complete = when
+                    # Squash check (Section 3.2): a pending gpr-store
+                    # to the same word not complete by our issue time.
+                    pending = pg_get(qw)
+                    if (
+                        pending is not None
+                        and pending[0] < index
+                        and pending[1] > issue_cycle
+                    ):
+                        when = pending[1]
+                        if no_squash:
+                            if when + 1 > complete:
+                                complete = when + 1
+                        else:
+                            squashes += 1
+                            window_squashes += 1
+                            if when + squash_penalty > redirect_at:
+                                redirect_at = when + squash_penalty
+                            if when + svf_fast_latency > complete:
+                                complete = when + svf_fast_latency
+            elif route == _R_REROUTE:
+                rerouted += 1
+                outcome = svf_access(addr, size_l[index], is_store != 0)
+                access_latency = reroute_latency
+                if outcome.filled:
+                    access_latency = dl1_access(addr) + 1
+                if is_store:
+                    complete = issue_cycle + 1
+                    entry_ready[qw] = complete
+                    pending_gpr_store[qw] = (index, complete)
+                else:
+                    when = er_get(qw, 0)
+                    complete = (
+                        issue_cycle if issue_cycle > when else when
+                    ) + access_latency
+            else:  # _R_SC
+                outcome = stack_cache.access(
+                    addr, size_l[index], is_store != 0
+                )
+                if outcome.hit:
+                    access_latency = dl1_latency
+                else:
+                    access_latency = l2.access(addr, is_store != 0)
+                if is_store:
+                    complete = issue_cycle + 1
+                    last_store[qw] = (index, complete)
+                else:
+                    forwarded = ls_get(qw)
+                    if forwarded is not None and forwarded[1] > issue_cycle:
+                        store_forwards += 1
+                        when = forwarded[1]
+                        complete = (
+                            issue_cycle if issue_cycle > when else when
+                        ) + forward_latency
+                    else:
+                        complete = issue_cycle + access_latency
+        else:
+            ready = dispatch_cycle + 1
+            nsrc = nsrc_l[index]
+            if nsrc:
+                when = reg_ready[src0_l[index]]
+                if when > ready:
+                    ready = when
+                if nsrc > 1:
+                    when = reg_ready[src1_l[index]]
+                    if when > ready:
+                        ready = when
+            latency = fu_latency_l[index]
+            if latency:
+                fu_slots = mult_slots
+                fu_width = mult_width
+            else:
+                fu_slots = alu_slots
+                fu_width = alu_width
+                latency = 1
+            cycle = ready
+            while True:
+                used = issue_slots[cycle]
+                if used < issue_width:
+                    fu_use = fu_slots[cycle]
+                    if fu_use < fu_width:
+                        issue_slots[cycle] = used + 1
+                        fu_slots[cycle] = fu_use + 1
+                        break
+                cycle += 1
+            complete = cycle + latency
+
+        # --------------------------------------------------- branches
+        if predict_bits is not None and flags & 4:
+            branches += 1
+            if not predict_bits(pc_l[index], flags & 8, flags & 16):
+                mispredictions += 1
+                when = complete + mispredict_redirect
+                if when > redirect_at:
+                    redirect_at = when
+
+        # $sp interlock: unexpected (non-immediate) updates stall
+        # decode of everything younger until the new $sp resolves.
+        if flags & 32:
+            if svf is not None:
+                svf.update_sp(sp_l[index])
+            if sp_block_mode and not (
+                opcode_l[index] == lda_op and spimm_l[index] != 0
+            ):
+                if complete > decode_block:
+                    decode_block = complete
+        # ----------------------------------------------------- commit
+        cycle = complete + 1
+        if cycle > commit_cur:
+            commit_cur = cycle
+            commit_cnt = 1
+        elif commit_cnt < commit_width:
+            commit_cnt += 1
+        else:
+            commit_cur += 1
+            commit_cnt = 1
+        cycle = commit_cur
+        commit_append(cycle)
+        if is_mem:
+            lsq_append(cycle)
+            mem_count += 1
+        horizon = cycle
+
+        # ---------------------------------------------------- results
+        dst = dst_l[index]
+        if dst >= 0:
+            reg_ready[dst] = complete
+
+    stats.instructions = n
+    stats.branches = total_branches if predict_bits is None else branches
+    stats.mispredictions = mispredictions
+    stats.cycles = commit_cur
+    stats.dl1_accesses = dl1.hits + dl1.misses
+    stats.dl1_hits = dl1.hits
+    stats.dl1_misses = dl1.misses
+    stats.l2_misses = l2.misses
+    stats.stores = stores
+    stats.loads = loads
+    stats.store_forwards = store_forwards
+    stats.svf_fast_stores = fast_stores
+    stats.svf_fast_loads = fast_loads
+    stats.svf_rerouted = rerouted
+    stats.svf_out_of_range = out_of_range
+    stats.svf_squashes = squashes
     if stack_cache is not None:
         stats.stack_cache_hits = stack_cache.hits
         stats.stack_cache_misses = stack_cache.misses

@@ -44,6 +44,54 @@ class CyclePool:
         return self._used.get(cycle, 0)
 
 
+class CycleWindow:
+    """Dense occupancy window: ``slots[cycle]`` = units used.
+
+    The vectorized timing walk keeps each resource pool as a flat list
+    indexed by absolute cycle instead of a ``{cycle: used}`` dict —
+    probe/take become two C-speed list indexings.  The caller sizes
+    the window past the highest cycle it can touch (tracking a cycle
+    horizon plus a per-instruction latency margin) and calls
+    :meth:`grow` when the horizon approaches the end.  Semantics are
+    exactly :class:`CyclePool`'s: a unit is free at ``cycle`` when
+    ``slots[cycle] < per_cycle``.
+    """
+
+    __slots__ = ("name", "per_cycle", "slots")
+
+    def __init__(self, name: str, per_cycle: int, capacity: int):
+        if per_cycle <= 0:
+            raise ValueError(f"{name}: per_cycle must be positive")
+        self.name = name
+        self.per_cycle = per_cycle
+        self.slots = [0] * capacity
+
+    def grow(self, minimum: int) -> int:
+        """Extend to at least ``minimum`` slots (geometric); new len."""
+        slots = self.slots
+        need = max(minimum, 2 * len(slots)) - len(slots)
+        if need > 0:
+            slots += [0] * need
+        return len(slots)
+
+    def available(self, cycle: int) -> bool:
+        return self.slots[cycle] < self.per_cycle
+
+    def take(self, cycle: int) -> None:
+        self.slots[cycle] += 1
+
+    def acquire(self, cycle: int) -> int:
+        slots = self.slots
+        per_cycle = self.per_cycle
+        while slots[cycle] >= per_cycle:
+            cycle += 1
+        slots[cycle] += 1
+        return cycle
+
+    def usage(self, cycle: int) -> int:
+        return self.slots[cycle]
+
+
 def acquire_all(pools: Iterable[CyclePool], cycle: int) -> int:
     """Take one unit of *each* pool at the earliest common free cycle."""
     pool_list = list(pools)

@@ -257,6 +257,16 @@ class TestProfile:
             assert phase in out, phase
         assert "MIPS" in out
 
+    def test_renders_superblock_replay_counters(self, capsys):
+        # The emulator's decode/replay counters surface through the
+        # same "cache counters:" block the cache tallies use.
+        assert main(["profile", "gzip", "--max-instructions", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "cache counters:" in out
+        for counter in ("superblock_builds", "superblock_replays",
+                        "superblock_replayed_instructions"):
+            assert counter in out, counter
+
     def test_unknown_workload(self, capsys):
         assert main(["profile", "doom"]) == 2
         err = capsys.readouterr().err

@@ -1,0 +1,268 @@
+"""Shared-memory trace fan-out: packing, views, cache level, cleanup.
+
+The engine fans functional traces out to workers as packed column
+payloads in POSIX shared memory; these tests cover the payload format
+(commit-record ordering included), the read-only
+:class:`SharedColumnarTrace` view the workers simulate from, the
+cache-level ordering in ``cached_trace``, and the engine's segment
+hygiene (run-prefix sweep plus the chaos leak check).
+"""
+
+import pickle
+
+import pytest
+
+from repro.harness import chaos, parallel as engine
+from repro.harness.parallel import (
+    EngineOptions,
+    ShmTraceCache,
+    TaskCell,
+    leaked_shm_segments,
+    run_cells,
+    shm_available,
+    sweep_shm_segments,
+)
+from repro.profiling import PhaseProfiler
+from repro.trace.columnar import ColumnarTrace, SharedColumnarTrace
+from repro.trace.serialization import (
+    SHARED_MAGIC,
+    pack_shared,
+    shared_payload_size,
+    unpack_shared,
+)
+from repro.uarch.config import table2_config
+from repro.uarch.pipeline import simulate
+from repro.workloads import (
+    get_shm_trace_cache,
+    set_shm_trace_cache,
+    workload,
+)
+from repro.workloads.registry import cached_trace, clear_trace_cache
+
+WINDOW = 6_000
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="no usable /dev/shm on this host"
+)
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    return workload("gzip").trace(max_instructions=WINDOW)
+
+
+@pytest.fixture()
+def packed(gzip_trace):
+    buffer = bytearray(shared_payload_size(len(gzip_trace)))
+    written = pack_shared(buffer, gzip_trace)
+    assert written == len(buffer)
+    return buffer
+
+
+class TestSharedPayload:
+    def test_round_trip_is_equal(self, gzip_trace, packed):
+        view = SharedColumnarTrace.from_buffer(packed)
+        assert view is not None
+        assert len(view) == len(gzip_trace)
+        assert view == gzip_trace
+        # TraceRecord compares by identity; check fields explicitly.
+        for index in (0, WINDOW - 1):
+            ours = view.record_at(index)
+            theirs = gzip_trace.record_at(index)
+            for name in type(theirs).__slots__:
+                assert getattr(ours, name) == getattr(theirs, name)
+
+    def test_simulation_from_view_is_identical(self, gzip_trace, packed):
+        view = SharedColumnarTrace.from_buffer(packed)
+        config = table2_config(16).with_svf(mode="svf", ports=2)
+        assert simulate(view, config) == simulate(gzip_trace, config)
+
+    def test_view_is_read_only(self, gzip_trace, packed):
+        view = SharedColumnarTrace.from_buffer(packed)
+        with pytest.raises(TypeError):
+            view.append(gzip_trace.record_at(0))
+
+    def test_uncommitted_buffer_reads_as_miss(self, packed):
+        # The magic is written last (commit record): zeroing it models
+        # a writer SIGKILLed before finishing the pack.
+        packed[:6] = b"\x00" * 6
+        assert unpack_shared(packed) is None
+        assert SharedColumnarTrace.from_buffer(packed) is None
+
+    def test_impossible_count_reads_as_miss(self, packed):
+        # A committed header whose count overruns the buffer is torn.
+        packed[8:16] = (2**40).to_bytes(8, "little")
+        assert packed[:6] == SHARED_MAGIC
+        assert unpack_shared(packed) is None
+
+    def test_undersized_buffer_is_rejected(self, gzip_trace):
+        buffer = bytearray(shared_payload_size(len(gzip_trace)) - 1)
+        with pytest.raises(ValueError):
+            pack_shared(buffer, gzip_trace)
+
+    def test_empty_trace_round_trips(self):
+        empty = ColumnarTrace()
+        buffer = bytearray(shared_payload_size(0))
+        pack_shared(buffer, empty)
+        view = SharedColumnarTrace.from_buffer(buffer)
+        assert view is not None
+        assert len(view) == 0
+
+
+class TestShmTraceCache:
+    def test_publish_then_load(self, gzip_trace):
+        cache = ShmTraceCache("svf-test-pub-")
+        key = ("164.gzip", "graphic", 0, WINDOW)
+        try:
+            assert cache.load(key) is None
+            cache.publish(key, gzip_trace)
+            assert cache.publishes == 1
+            view = cache.load(key)
+            assert isinstance(view, SharedColumnarTrace)
+            assert view == gzip_trace
+            assert cache.attaches == 1
+            assert cache.fanout_bytes > 0
+        finally:
+            sweep_shm_segments("svf-test-pub-")
+
+    def test_publish_race_keeps_first_copy(self, gzip_trace):
+        cache = ShmTraceCache("svf-test-race-")
+        key = ("164.gzip", "graphic", 0, WINDOW)
+        try:
+            cache.publish(key, gzip_trace)
+            cache.publish(key, gzip_trace)  # second create loses
+            assert cache.publishes == 1
+            assert cache.load(key) == gzip_trace
+        finally:
+            sweep_shm_segments("svf-test-race-")
+
+    def test_shared_views_are_never_republished(self, gzip_trace):
+        cache = ShmTraceCache("svf-test-repub-")
+        key = ("164.gzip", "graphic", 0, WINDOW)
+        try:
+            cache.publish(key, gzip_trace)
+            view = cache.load(key)
+            cache.publish(("other",), view)
+            assert cache.publishes == 1
+            assert leaked_shm_segments("svf-test-repub-") == [
+                cache.segment_name(key)
+            ]
+        finally:
+            sweep_shm_segments("svf-test-repub-")
+
+    def test_cached_trace_uses_shm_level(self, gzip_trace):
+        # A trace published under the run prefix is attached by
+        # cached_trace before any recompute — the key path workers hit.
+        cache = ShmTraceCache("svf-test-level-")
+        work = workload("gzip")
+        key = (work.name, work.input_name, 0, WINDOW)
+        cache.publish(key, gzip_trace)
+        previous = get_shm_trace_cache()
+        clear_trace_cache()
+        set_shm_trace_cache(cache)
+        try:
+            got = cached_trace(work, WINDOW)
+            assert isinstance(got, SharedColumnarTrace)
+            assert got == gzip_trace
+            assert cache.attaches == 1
+        finally:
+            set_shm_trace_cache(previous)
+            clear_trace_cache()
+            sweep_shm_segments("svf-test-level-")
+
+    def test_cached_trace_publishes_on_compute(self):
+        cache = ShmTraceCache("svf-test-compute-")
+        work = workload("gzip")
+        previous = get_shm_trace_cache()
+        clear_trace_cache()
+        set_shm_trace_cache(cache)
+        try:
+            cached_trace(work, 2_000)
+            assert cache.publishes == 1
+            key = (work.name, work.input_name, 0, 2_000)
+            assert leaked_shm_segments("svf-test-compute-") == [
+                cache.segment_name(key)
+            ]
+        finally:
+            set_shm_trace_cache(previous)
+            clear_trace_cache()
+            sweep_shm_segments("svf-test-compute-")
+
+
+class TestSegmentHygiene:
+    def test_sweep_removes_only_the_prefix(self, gzip_trace):
+        ours = ShmTraceCache("svf-test-mine-")
+        theirs = ShmTraceCache("svf-test-theirs-")
+        try:
+            ours.publish(("a",), gzip_trace)
+            theirs.publish(("b",), gzip_trace)
+            removed = sweep_shm_segments("svf-test-mine-")
+            assert [name for name, _ in removed] == [
+                ours.segment_name(("a",))
+            ]
+            assert removed[0][1] >= shared_payload_size(len(gzip_trace))
+            assert leaked_shm_segments("svf-test-mine-") == []
+            assert leaked_shm_segments("svf-test-theirs-") != []
+        finally:
+            sweep_shm_segments("svf-test-mine-")
+            sweep_shm_segments("svf-test-theirs-")
+
+    def test_chaos_check_flags_leaks(self, gzip_trace):
+        cache = ShmTraceCache("svf-test-leak-")
+        report = engine.EngineReport(shm_prefix="svf-test-leak-")
+        try:
+            cache.publish(("a",), gzip_trace)
+            check = chaos.check_no_leaked_shm(report)
+            assert not check.ok
+            sweep_shm_segments("svf-test-leak-")
+            check = chaos.check_no_leaked_shm(report)
+            assert check.ok
+        finally:
+            sweep_shm_segments("svf-test-leak-")
+
+    def test_chaos_check_passes_without_shm(self):
+        check = chaos.check_no_leaked_shm(engine.EngineReport())
+        assert check.ok
+        assert "not used" in check.detail
+
+
+class TestEngineIntegration:
+    def test_pool_payloads_identical_shm_on_and_off(self):
+        cells = [
+            TaskCell("table3", "164.gzip", 4_000, ()),
+            TaskCell("fig5", "164.gzip", 4_000, ()),
+        ]
+
+        def run(shared_memory):
+            outcomes = run_cells(
+                cells,
+                EngineOptions(
+                    jobs=2, cache_dir=None, shared_memory=shared_memory
+                ),
+            )
+            assert all(outcome.ok for outcome in outcomes)
+            return outcomes, engine.last_engine_report()
+
+        with_shm, report_on = run(True)
+        without, report_off = run(False)
+        for a, b in zip(with_shm, without):
+            assert pickle.dumps(a.payload) == pickle.dumps(b.payload)
+        assert report_on.shm_prefix is not None
+        assert report_off.shm_prefix is None
+        assert leaked_shm_segments(report_on.shm_prefix) == []
+        assert chaos.check_no_leaked_shm(report_on).ok
+        # The end-of-run sweep accounts for what the workers shared.
+        assert report_on.shm_segments > 0
+        assert report_on.shm_bytes > 0
+        # Worker counters ship back in the cell snapshots and render
+        # through the standard profiler block (what --profile shows).
+        merged = PhaseProfiler()
+        for outcome in with_shm:
+            merged.merge(outcome.phases)
+        rendered = merged.render()
+        assert "cache counters:" in rendered
+        assert "shm_trace_publishes" in rendered
+        totals = merged.counters
+        assert totals["shm_trace_publishes"] >= 1
+        if "shm_trace_attaches" in totals:
+            assert totals["shm_fanout_bytes"] > 0

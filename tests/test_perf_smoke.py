@@ -13,6 +13,8 @@ from time import perf_counter
 import pytest
 
 from repro.core.traffic import simulate_traffic
+from repro.emulator.superblock import set_superblock_enabled
+from repro.trace.columnar import _np as _numpy
 from repro.emulator.memory import STACK_BASE
 from repro.profiling import profiled
 from repro.trace.analysis import (
@@ -92,6 +94,60 @@ def test_batched_traffic_budget():
     stat = profiler.phases["traffic"]
     assert stat.items == WINDOW
     assert stat.seconds < TRAFFIC_BUDGET, profiler.render()
+
+
+@pytest.mark.perf
+def test_superblock_replay_budget_and_hit_rate():
+    # The loop-heavy LZ77 kernel replays most of its retirement from
+    # superblock templates (~82% measured); the floor fires when a
+    # change stops templates from forming or from being reused.  The
+    # wall budget is the usual ~10× slack tripwire.
+    with profiled() as profiler:
+        workload("gzip").trace(max_instructions=WINDOW)
+    counters = profiler.counters
+    assert counters["superblock_builds"] > 0
+    assert counters["superblock_replays"] > 0
+    replayed = counters["superblock_replayed_instructions"]
+    assert replayed / WINDOW > 0.5, profiler.render()
+    assert profiler.phases["emulate"].seconds < EMULATE_BUDGET, (
+        profiler.render()
+    )
+
+
+@pytest.mark.perf
+def test_step_decode_reference_budget():
+    # The step-decode walk stays the reference implementation; it must
+    # remain usable (differential gates run it on every workload).
+    previous = set_superblock_enabled(False)
+    try:
+        with profiled() as profiler:
+            workload("gzip").trace(max_instructions=WINDOW)
+    finally:
+        set_superblock_enabled(previous)
+    assert "superblock_replays" not in profiler.counters
+    assert profiler.phases["emulate"].seconds < EMULATE_BUDGET, (
+        profiler.render()
+    )
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(_numpy is None, reason="numpy unavailable")
+def test_vectorized_timing_budget():
+    # The numpy-assisted walk must beat the generous reference budget
+    # with lots of headroom; this fires if simulate() stops
+    # dispatching to the vectorized walk when numpy is enabled.
+    trace = workload("gzip").trace(max_instructions=WINDOW)
+    base = table2_config(16)
+    previous = set_numpy_enabled(True)
+    try:
+        with profiled() as profiler:
+            simulate(trace, base)
+            simulate(trace, base.with_svf(mode="svf", ports=2))
+    finally:
+        set_numpy_enabled(previous)
+    stat = profiler.phases["timing"]
+    assert stat.items == 2 * WINDOW
+    assert stat.seconds < TIMING_BUDGET / 2, profiler.render()
 
 
 @pytest.mark.perf
