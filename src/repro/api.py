@@ -53,7 +53,11 @@ from repro.lang.codegen import (
     compile_to_assembly,
 )
 from repro.uarch.config import MachineConfig, table2_config
-from repro.uarch.pipeline import SimStats, simulate as _simulate
+from repro.uarch.pipeline import (
+    SimStats,
+    simulate as _simulate,
+    simulate_batch as _simulate_batch,
+)
 from repro.workloads.registry import workload as _workload
 
 #: Version stamped into every machine-readable (JSON) payload the
@@ -76,8 +80,16 @@ from repro.workloads.registry import workload as _workload
 #: cache keys escape param separators so values containing ``.``/``-``
 #: can no longer collide.  Migration: nothing to convert — v3 caches
 #: live under ``v3/`` and are never read again; JSON payload shapes
-#: are unchanged apart from the version field.
-SCHEMA_VERSION = 4
+#: are unchanged apart from the version field.  v5: the batched timing
+#: engine — report timing figures cache one whole-row payload per
+#: (figure, benchmark) cell instead of one scalar per machine config,
+#: and pickled cell/section cache entries gained a SHA-256 integrity
+#: prefix (a bit flip inside a pickled payload used to be served when
+#: it still unpickled; traces already carried a CRC since v4).
+#: Migration: nothing to convert — v4 caches live under ``v4/`` and
+#: are never read again; JSON payload shapes are unchanged apart from
+#: the version field.
+SCHEMA_VERSION = 5
 
 #: Valid ``experiment`` names (paper tables and figures).
 EXPERIMENT_NAMES = (
@@ -370,6 +382,33 @@ def simulate(
     if isinstance(machine, MachineSpec):
         machine = machine.config()
     return _simulate(trace, machine)
+
+
+def simulate_batch(
+    trace: Union[str, Sequence],
+    machines: Sequence[Union[MachineSpec, MachineConfig]],
+    input_name: Optional[str] = None,
+    max_instructions: int = 60_000,
+    options: Optional[Union[CompileOptions, CodegenOptions]] = None,
+) -> List[SimStats]:
+    """Time one trace on many machines in a single batched pass.
+
+    Accepts the same trace/machine forms as :func:`simulate` and
+    returns one :class:`SimStats` per machine, in order — bit-for-bit
+    identical to sequential :func:`simulate` calls, but the trace is
+    walked once for all distinct configurations (duplicates are
+    deduplicated).  ``REPRO_BATCH=0`` falls back to sequential runs.
+    """
+    if isinstance(trace, str):
+        trace = _workload(trace, input_name).trace(
+            max_instructions=max_instructions,
+            options=_codegen_options(options),
+        )
+    configs = [
+        machine.config() if isinstance(machine, MachineSpec) else machine
+        for machine in machines
+    ]
+    return _simulate_batch(trace, configs)
 
 
 def lint(
@@ -676,6 +715,7 @@ __all__ = [
     "predict",
     "run_workload",
     "simulate",
+    "simulate_batch",
     "sweep",
     "sweep_json",
     "versioned",

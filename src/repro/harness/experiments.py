@@ -27,7 +27,7 @@ from repro.trace.first_touch import FirstTouchProfile
 from repro.trace.regions import AccessMethod
 from repro.core.traffic import simulate_traffic
 from repro.uarch.config import table2_config
-from repro.uarch.pipeline import simulate
+from repro.uarch.pipeline import simulate, simulate_batch
 from repro.uarch.stats import SimStats
 from repro.workloads import (
     BENCHMARK_ORDER,
@@ -273,22 +273,28 @@ def fig5_ideal_morphing(
     widths: Sequence[int] = (4, 8, 16),
     include_gshare: bool = True,
 ) -> Fig5Result:
-    """Figure 5: infinite SVF on 4/8/16-wide, plus 16-wide gshare."""
+    """Figure 5: infinite SVF on 4/8/16-wide, plus 16-wide gshare.
+
+    All of one benchmark's (baseline, ideal) pairs go through a single
+    :func:`simulate_batch` pass — one trace walk per benchmark instead
+    of one per column leg.
+    """
     result = Fig5Result()
+    pairs = []
+    for width in widths:
+        base = table2_config(width)
+        pairs.append((f"{width}-wide", base, base.with_svf(mode="ideal")))
+    if include_gshare:
+        base = table2_config(16, branch_predictor="gshare")
+        pairs.append(("16-wide gshare", base, base.with_svf(mode="ideal")))
+    configs = [c for _, b, v in pairs for c in (b, v)]
     for name in _suite(benchmarks):
         trace = _trace_for(name, max_instructions)
-        per_bench: Dict[str, float] = {}
-        for width in widths:
-            base = table2_config(width)
-            baseline = simulate(trace, base)
-            ideal = simulate(trace, base.with_svf(mode="ideal"))
-            per_bench[f"{width}-wide"] = ideal.speedup_over(baseline)
-        if include_gshare:
-            base = table2_config(16, branch_predictor="gshare")
-            baseline = simulate(trace, base)
-            ideal = simulate(trace, base.with_svf(mode="ideal"))
-            per_bench["16-wide gshare"] = ideal.speedup_over(baseline)
-        result.speedups[name] = per_bench
+        stats = simulate_batch(trace, configs)
+        result.speedups[name] = {
+            label: stats[2 * slot + 1].speedup_over(stats[2 * slot])
+            for slot, (label, _, _) in enumerate(pairs)
+        }
     return result
 
 
@@ -341,23 +347,29 @@ def fig6_progressive(
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = DEFAULT_TIMING_WINDOW,
 ) -> Fig6Result:
-    """Figure 6: 2x DL1, removed address calc, then SVF with 1/2/16 ports."""
+    """Figure 6: 2x DL1, removed address calc, then SVF with 1/2/16 ports.
+
+    The shared baseline and all five relaxations run as one batched
+    pass per benchmark.
+    """
     result = Fig6Result()
     base = table2_config(16)
-    doubled = _dl1_doubled(base)
+    variants = [
+        ("L1_2x", _dl1_doubled(base)),
+        ("no_addr_cal_op", base.with_(no_addr_calc=True)),
+    ] + [
+        (f"svf_{ports}p", base.with_svf(mode="svf", ports=ports))
+        for ports in (1, 2, 16)
+    ]
+    configs = [base] + [variant for _, variant in variants]
     for name in _suite(benchmarks):
         trace = _trace_for(name, max_instructions)
-        baseline = simulate(trace, base)
-        per_bench = {
-            "L1_2x": simulate(trace, doubled).speedup_over(baseline),
-            "no_addr_cal_op": simulate(
-                trace, base.with_(no_addr_calc=True)
-            ).speedup_over(baseline),
+        stats = simulate_batch(trace, configs)
+        baseline = stats[0]
+        result.speedups[name] = {
+            label: run.speedup_over(baseline)
+            for (label, _), run in zip(variants, stats[1:])
         }
-        for ports in (1, 2, 16):
-            run = simulate(trace, base.with_svf(mode="svf", ports=ports))
-            per_bench[f"svf_{ports}p"] = run.speedup_over(baseline)
-        result.speedups[name] = per_bench
     return result
 
 
@@ -459,34 +471,28 @@ def fig7_svf_vs_stack_cache(
     """
     result = Fig7Result()
     base = table2_config(16, dl1_ports=2)
-    four_port = _fig7_four_port()
+    configs = [
+        base,
+        _fig7_four_port(),
+        base.with_svf(
+            mode="stack_cache", ports=2, capacity_bytes=capacity_bytes
+        ),
+        base.with_svf(mode="svf", ports=2, capacity_bytes=capacity_bytes),
+        base.with_svf(
+            mode="svf", ports=2, capacity_bytes=capacity_bytes,
+            no_squash=True,
+        ),
+    ]
     for name in _suite(benchmarks):
         trace = _trace_for(name, max_instructions)
-        baseline = simulate(trace, base)
-        svf_stats = simulate(
-            trace,
-            base.with_svf(mode="svf", ports=2, capacity_bytes=capacity_bytes),
-        )
-        per_bench = {
-            "(4+0)": simulate(trace, four_port).speedup_over(baseline),
-            "(2+2)$": simulate(
-                trace,
-                base.with_svf(
-                    mode="stack_cache", ports=2, capacity_bytes=capacity_bytes
-                ),
-            ).speedup_over(baseline),
+        stats = simulate_batch(trace, configs)
+        baseline, svf_stats = stats[0], stats[3]
+        result.speedups[name] = {
+            "(4+0)": stats[1].speedup_over(baseline),
+            "(2+2)$": stats[2].speedup_over(baseline),
             "(2+2)svf": svf_stats.speedup_over(baseline),
-            "(2+2)svf_nosq": simulate(
-                trace,
-                base.with_svf(
-                    mode="svf",
-                    ports=2,
-                    capacity_bytes=capacity_bytes,
-                    no_squash=True,
-                ),
-            ).speedup_over(baseline),
+            "(2+2)svf_nosq": stats[4].speedup_over(baseline),
         }
-        result.speedups[name] = per_bench
         result.svf_stats[name] = svf_stats
     return result
 
@@ -646,42 +652,50 @@ def fig9_svf_speedup(
     max_instructions: int = DEFAULT_TIMING_WINDOW,
     capacity_bytes: int = 8192,
 ) -> Fig9Result:
-    """Figure 9: (R+S) SVF speedup relative to the (R+0) baseline."""
+    """Figure 9: (R+S) SVF speedup relative to the (R+0) baseline.
+
+    Each (R+0) baseline appears in two pairs; the batched pass dedups
+    it, so one benchmark costs 6 walks' worth of work in one pass
+    instead of 8 separate simulations.
+    """
     result = Fig9Result()
+    pairs = []
+    for regular_ports in (1, 2):
+        base = table2_config(16, dl1_ports=regular_ports)
+        for svf_ports in (1, 2):
+            pairs.append((
+                f"({regular_ports}+{svf_ports})",
+                base,
+                base.with_svf(
+                    mode="svf",
+                    ports=svf_ports,
+                    capacity_bytes=capacity_bytes,
+                ),
+            ))
+    configs = [c for _, b, v in pairs for c in (b, v)]
     for name in _suite(benchmarks):
         trace = _trace_for(name, max_instructions)
-        per_bench: Dict[str, float] = {}
-        for regular_ports in (1, 2):
-            base = table2_config(16, dl1_ports=regular_ports)
-            baseline = simulate(trace, base)
-            for svf_ports in (1, 2):
-                run = simulate(
-                    trace,
-                    base.with_svf(
-                        mode="svf",
-                        ports=svf_ports,
-                        capacity_bytes=capacity_bytes,
-                    ),
-                )
-                per_bench[f"({regular_ports}+{svf_ports})"] = (
-                    run.speedup_over(baseline)
-                )
-        result.speedups[name] = per_bench
+        stats = simulate_batch(trace, configs)
+        result.speedups[name] = {
+            label: stats[2 * slot + 1].speedup_over(stats[2 * slot])
+            for slot, (label, _, _) in enumerate(pairs)
+        }
     return result
 
 
 # ---------------------------------------------------------------------------
 # Per-config cells — one (benchmark, machine config) computation each.
 #
-# The parallel engine splits every timing figure into one cell per
-# machine configuration (see repro.harness.runall._plan_cells), so a
-# slow column no longer serializes behind the rest of its benchmark's
-# figure.  Each function reproduces exactly one column of the
-# corresponding full driver above: same trace, same configs, same
-# arithmetic — so a report assembled from per-config cells is
-# bit-identical to one assembled from whole-figure cells.  The shared
-# baselines these cells re-derive are collapsed by the per-process
-# _SIM_MEMO.
+# The report engine now plans whole-row cells (one batched trace pass
+# per benchmark and figure, see repro.harness.runall._plan_cells), but
+# the per-config split stays supported: chaos/fault tooling and tests
+# still target individual (benchmark, config) cells, and the machine-
+# pair helpers below also feed the section content keys.  Each function
+# reproduces exactly one column of the corresponding full driver above
+# — same trace, same configs, same arithmetic — so a report assembled
+# from per-config cells is bit-identical to one assembled from batched
+# whole-row cells.  The shared baselines these cells re-derive are
+# collapsed by the per-process _SIM_MEMO.
 # ---------------------------------------------------------------------------
 
 FIG5_CONFIGS = ("4-wide", "8-wide", "16-wide", "16-wide gshare")

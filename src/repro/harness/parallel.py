@@ -34,6 +34,7 @@ timing model as well.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -187,8 +188,7 @@ class TraceCache:
 
     def _read(self, path: Path, kind: str) -> Any:
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
+            blob = path.read_bytes()
         except FileNotFoundError:
             self._bump(kind, "misses")
             return _MISS
@@ -199,6 +199,14 @@ class TraceCache:
             self.stats.transient_errors += 1
             self._bump(kind, "misses")
             return _MISS
+        try:
+            # The digest prefix catches what unpickling alone cannot:
+            # a flipped bit inside a pickled str/int often still
+            # unpickles — to the wrong value.
+            digest, payload = blob[:32], blob[32:]
+            if hashlib.sha256(payload).digest() != digest:
+                raise ValueError("cache entry digest mismatch")
+            value = pickle.loads(payload)
         except Exception:
             # Genuine corruption (truncated/bit-flipped payload): drop
             # the entry so it can never be served.
@@ -218,8 +226,10 @@ class TraceCache:
             dir=str(path.parent), suffix=".tmp"
         )
         try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(hashlib.sha256(blob).digest())
+                handle.write(blob)
             os.replace(temp_path, path)
         except Exception:
             try:
@@ -608,10 +618,18 @@ def _cell_sweep(cell: TaskCell):
     return run_sweep_cell(cell)
 
 
+def _cell_sweep_batch(cell: TaskCell):
+    """One fused group of timing sweep rows (see repro.harness.sweep)."""
+    from repro.harness.sweep import run_sweep_batch_cell
+
+    return run_sweep_batch_cell(cell)
+
+
 _CELL_RUNNERS: Dict[str, Callable[[TaskCell], Any]] = {
     "characterize": _cell_characterize,
     "lint": _cell_lint,
     "sweep": _cell_sweep,
+    "sweep-batch": _cell_sweep_batch,
     "fig5": _cell_fig5,
     "fig6": _cell_fig6,
     "fig7": _cell_fig7,
@@ -620,6 +638,14 @@ _CELL_RUNNERS: Dict[str, Callable[[TaskCell], Any]] = {
     "table4": _cell_table4,
     "prediction": _cell_prediction,
 }
+
+#: Sections whose runners manage the cell cache themselves, per
+#: member: a fused cell's identity enumerates every member, so an
+#: engine-level entry would duplicate the members' entries under an
+#: unbounded key (and defeat per-member warm resume).  The engine
+#: skips its own load/store for these and lets the runner count the
+#: per-member hits and misses.
+_SELF_CACHING_SECTIONS = frozenset({"sweep-batch"})
 
 
 def _execute_cell(
@@ -660,7 +686,8 @@ def _execute_cell(
         # snapshot, before the cache lookup so a killed cell's retry
         # exercises the full lookup-or-compute path.
         chaos.on_cell_start(cell)
-        if cache is not None:
+        self_caching = cell.section in _SELF_CACHING_SECTIONS
+        if cache is not None and not self_caching:
             payload = cache.load_cell(cell)
             if payload is not _MISS:
                 profiler.count("cell_cache_hits")
@@ -679,7 +706,8 @@ def _execute_cell(
         trace_misses = cache.stats.misses if cache is not None else 0
         payload = runner(cell)
         if cache is not None:
-            cache.store_cell(cell, payload)
+            if not self_caching:
+                cache.store_cell(cell, payload)
             profiler.count("trace_cache_hits", cache.stats.hits - trace_hits)
             profiler.count(
                 "trace_cache_misses", cache.stats.misses - trace_misses

@@ -187,26 +187,18 @@ def _plan_cells(
 ) -> List[TaskCell]:
     """Section-major cell order: workers hit distinct benchmarks first,
     so cold-cache runs compute each trace once instead of racing on it.
-    Within a per-config section the config loop is outermost for the
-    same reason.  ``sections`` restricts planning to a subset (the
-    incremental mode plans only sections whose content keys changed)."""
+    Timing figures plan one whole-row cell per benchmark — the drivers
+    push every column of the row through a single batched trace pass
+    (:func:`repro.uarch.pipeline.simulate_batch`), so splitting per
+    config would multiply walks, not parallelism.  ``sections``
+    restricts planning to a subset (the incremental mode plans only
+    sections whose content keys changed)."""
     windows = {"timing": timing_window, "functional": functional_window}
     cells = []
     for section, window_kind in _SECTION_PLAN:
         if sections is not None and section not in sections:
             continue
         window = windows[window_kind]
-        configs = _SECTION_CONFIGS.get(section)
-        if configs is not None:
-            for config in configs:
-                for benchmark in suite:
-                    cells.append(
-                        TaskCell(
-                            section, benchmark, window,
-                            (("config", config),),
-                        )
-                    )
-            continue
         params: Tuple = ()
         if section == "table4":
             params = (("period", period),)
@@ -222,11 +214,12 @@ def _merge(
 ) -> Dict[str, object]:
     """Fold per-cell payloads into result objects, in suite order.
 
-    Per-config sections merge column by column in the figure's
-    canonical config order; a benchmark with any missing/failed column
-    drops out of that figure entirely (matching the old whole-figure
-    cell behaviour), with the specific cell named in the degraded
-    annotation.
+    Timing figures arrive as whole-row payloads (one batched cell per
+    benchmark); legacy per-config cells — e.g. warm outcomes replayed
+    by older tooling — still merge column by column in the figure's
+    canonical config order.  A benchmark with a missing/failed cell
+    drops out of that figure entirely, with the specific cell named in
+    the degraded annotation.
     """
     by_cell = {
         (
@@ -266,15 +259,23 @@ def _merge(
             characterization.first_touch[benchmark] = char["first_touch"]
         for result, section in ((fig5, "fig5"), (fig6, "fig6"),
                                 (fig9, "fig9")):
-            row = config_row(section, benchmark)
+            row = payload(section, benchmark)
+            if row is None:
+                row = config_row(section, benchmark)
             if row is not None:
                 result.speedups[benchmark] = row
-        seven = config_row("fig7", benchmark)
-        if seven is not None and "svf_stats" in seven["(2+2)svf"]:
-            fig7.speedups[benchmark] = {
-                config: cell["speedup"] for config, cell in seven.items()
-            }
-            fig7.svf_stats[benchmark] = seven["(2+2)svf"]["svf_stats"]
+        seven = payload("fig7", benchmark)
+        if seven is not None:
+            fig7.speedups[benchmark] = seven["speedups"]
+            fig7.svf_stats[benchmark] = seven["svf_stats"]
+        else:
+            seven = config_row("fig7", benchmark)
+            if seven is not None and "svf_stats" in seven["(2+2)svf"]:
+                fig7.speedups[benchmark] = {
+                    config: cell["speedup"]
+                    for config, cell in seven.items()
+                }
+                fig7.svf_stats[benchmark] = seven["(2+2)svf"]["svf_stats"]
         traffic = payload("table3", benchmark)
         if traffic is not None:
             table3.traffic.update(traffic)

@@ -103,15 +103,31 @@ def _timing_metrics(trace, machine_fields: Mapping[str, Any]) -> Dict:
     ``svf_*`` axes move only the variant — the comparison every
     ablation in ``benchmarks/`` makes by hand.
     """
+    from repro.uarch.pipeline import simulate
+
+    baseline_config, config = _timing_config_pair(machine_fields)
+    baseline = simulate(trace, baseline_config)
+    run = simulate(trace, config)
+    return _metrics_from_stats(baseline, run)
+
+
+def _timing_config_pair(machine_fields: Mapping[str, Any]):
+    """(svf-less baseline, variant) MachineConfigs for one row."""
     import dataclasses
 
     from repro.api import MachineSpec
-    from repro.uarch.pipeline import simulate
 
     spec = MachineSpec(**dict(machine_fields))
     baseline_spec = dataclasses.replace(spec, svf_mode="none")
-    baseline = simulate(trace, baseline_spec.config())
-    run = simulate(trace, spec.config())
+    return baseline_spec.config(), spec.config()
+
+
+def _metrics_from_stats(baseline, run) -> Dict[str, Any]:
+    """The run-table metrics dict for one (baseline, variant) pair.
+
+    Shared verbatim between the per-cell and the batched runners so
+    fused and unfused rows are byte-identical, rounding included.
+    """
     return {
         "instructions": run.instructions,
         "baseline_cycles": baseline.cycles,
@@ -119,7 +135,7 @@ def _timing_metrics(trace, machine_fields: Mapping[str, Any]) -> Dict:
         "baseline_ipc": round(baseline.ipc, 6),
         "ipc": round(run.ipc, 6),
         "speedup": round(run.speedup_over(baseline), 6),
-        "svf_morphed": run.svf_fast_loads + run.svf_fast_stores,
+        "svf_morphed": run.svf_morphed,
         "svf_rerouted": run.svf_rerouted,
         "svf_fills": run.svf_fills,
         "svf_squashes": run.svf_squashes,
@@ -150,6 +166,168 @@ def _traffic_metrics(trace, machine_fields: Mapping[str, Any]) -> Dict:
         "qw_out": svf.qw_out,
         "qw_total": svf.qw_in + svf.qw_out,
     }
+
+
+def run_sweep_batch_cell(cell: TaskCell) -> Dict[Tuple, Dict[str, Any]]:
+    """Compute one fused group of timing rows (``"sweep-batch"``).
+
+    The cell's ``members`` param enumerates the params tuples of the
+    plain ``"sweep"`` cells it fuses — all sharing this cell's
+    (benchmark, window, opt, rep), differing only in machine fields.
+    The runner attaches the trace once, loads warm members straight
+    from the per-member cell cache (counting ``cell_cache_hits`` /
+    ``cell_cache_misses`` exactly as the engine would), simulates all
+    cold members' (baseline, variant) config pairs through one
+    :func:`repro.uarch.pipeline.simulate_batch` pass, and stores each
+    cold member's metrics back under its own cell key — so a fused
+    group and its unfused members are interchangeable in the cache.
+
+    Failures stay per-member: a member whose spec or simulation fails
+    degrades to an error entry (same ``Type: message`` format the
+    engine uses) without touching its group-mates; if the batched pass
+    itself fails, cold members fall back to sequential per-member
+    execution through the registered ``"sweep"`` runner.  That same
+    registry lookup is the interposition seam: when the ``"sweep"``
+    runner has been replaced (tests and tooling interpose on per-cell
+    execution), every cold member runs through the replacement
+    instead of the fused path.
+
+    Returns ``{member_params: entry}`` where each entry carries
+    ``ok``/``metrics``-or-``error`` plus ``cache_hit`` provenance;
+    :func:`run_sweep` fans the entries back out to run-table rows.
+    """
+    from repro import profiling
+    from repro.harness import parallel
+    from repro.lang.codegen import CodegenOptions
+    from repro.uarch.pipeline import simulate_batch
+    from repro.workloads import cached_trace, get_disk_trace_cache, workload
+
+    params = dict(cell.params)
+    members: Sequence[Tuple] = params["members"]
+    opt_level = params.get("opt", 0)
+    member_cells = [
+        TaskCell("sweep", cell.benchmark, cell.window, member)
+        for member in members
+    ]
+
+    cache = get_disk_trace_cache()
+    profiler = profiling.active()
+
+    def _count(name: str, n: int = 1) -> None:
+        if profiler is not None:
+            profiler.count(name, n)
+
+    entries: Dict[Tuple, Dict[str, Any]] = {}
+    cold: List[TaskCell] = []
+    for member in member_cells:
+        if member.params in entries:
+            continue
+        # Mirror the engine's per-cell ordering: chaos hook first,
+        # then the cache lookup, so a fused member behaves like the
+        # plain cell it replaces.
+        chaos.on_cell_start(member)
+        payload = (
+            cache.load_cell(member) if cache is not None
+            else parallel._MISS
+        )
+        if payload is not parallel._MISS:
+            _count("cell_cache_hits")
+            entries[member.params] = {
+                "ok": True, "metrics": payload, "cache_hit": True,
+            }
+        else:
+            _count("cell_cache_misses")
+            cold.append(member)
+
+    if not cold:
+        return entries
+
+    # Mirror the engine's retry policy so a member that degrades here
+    # reports the same attempt count (the summary annotates it) as the
+    # plain cell it replaces.
+    retries = parallel.EngineOptions().retries
+
+    def _fail(member: TaskCell, exc: Exception, attempts: int) -> None:
+        entries[member.params] = {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "cache_hit": False,
+            "attempts": attempts,
+        }
+
+    def _done(
+        member: TaskCell, metrics: Dict[str, Any], attempts: int = 1
+    ) -> None:
+        if cache is not None:
+            cache.store_cell(member, metrics)
+        entries[member.params] = {
+            "ok": True, "metrics": metrics, "cache_hit": False,
+            "attempts": attempts,
+        }
+
+    runner = parallel._CELL_RUNNERS.get("sweep", run_sweep_cell)
+
+    def _run_members_sequentially(pending: Sequence[TaskCell]) -> None:
+        for member in pending:
+            for attempt in range(1, retries + 2):
+                try:
+                    metrics = runner(member)
+                except Exception as exc:
+                    if attempt > retries:
+                        _fail(member, exc, attempt)
+                else:
+                    _done(member, metrics, attempt)
+                    break
+
+    if runner is not parallel._cell_sweep:
+        # Someone interposed on per-cell sweep execution; fusion
+        # defers to per-cell execution so the interposition sees
+        # every member.
+        _run_members_sequentially(cold)
+        return entries
+
+    trace = cached_trace(
+        workload(cell.benchmark), cell.window,
+        options=CodegenOptions(opt_level=opt_level),
+    )
+    paired: List[Tuple[TaskCell, Any, Any]] = []
+    for member in cold:
+        fields = dict(member.params)
+        fields.pop("kind", None)
+        fields.pop("opt", None)
+        fields.pop("rep", None)
+        try:
+            baseline_config, config = _timing_config_pair(fields)
+        except Exception as exc:
+            # Deterministic construction failure: the engine would have
+            # retried and failed identically, so report its count.
+            _fail(member, exc, 1 + retries)
+            continue
+        paired.append((member, baseline_config, config))
+
+    if paired:
+        configs: List[Any] = []
+        for _member, baseline_config, config in paired:
+            configs.append(baseline_config)
+            configs.append(config)
+        try:
+            results = simulate_batch(trace, configs)
+        except Exception:
+            # The batched pass failed as a whole (it cannot tell which
+            # config is at fault) — recompute members one by one so
+            # only the offender degrades.
+            _run_members_sequentially([member for member, _, _ in paired])
+        else:
+            for slot, (member, _, _) in enumerate(paired):
+                baseline = results[2 * slot]
+                run = results[2 * slot + 1]
+                try:
+                    metrics = _metrics_from_stats(baseline, run)
+                except Exception as exc:
+                    _fail(member, exc, 1 + retries)
+                else:
+                    _done(member, metrics)
+    return entries
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +373,54 @@ def plan_cells(spec: SweepSpec) -> Tuple[List[SweepPoint], List[TaskCell]]:
     )
     cells = [point_cell(spec, points[index]) for index in order]
     return points, cells
+
+
+def _fuse_cells(
+    spec: SweepSpec, cells: Sequence[TaskCell]
+) -> Tuple[List[TaskCell], Dict[TaskCell, TaskCell]]:
+    """Group timing cells that share (workload, opt, rep) into fused
+    ``"sweep-batch"`` cells — one trace attach + one batched pass per
+    group instead of one walk per row.
+
+    Fusion is submission-shape only: the per-member cell-cache keys,
+    row identities and row bytes are untouched (the batch runner fans
+    results back out per member).  Groups of one stay plain cells.
+    Returns the submission list (group order follows the first member,
+    preserving :func:`plan_cells`'s cache-friendly ordering) and the
+    member-cell → batch-cell map the fan-in uses.
+    """
+    groups: Dict[Tuple, List[TaskCell]] = {}
+    for cell in cells:
+        params = dict(cell.params)
+        key = (cell.benchmark, params.get("opt", 0), params.get("rep", 0))
+        groups.setdefault(key, []).append(cell)
+    submit: List[TaskCell] = []
+    batch_of: Dict[TaskCell, TaskCell] = {}
+    emitted = set()
+    for cell in cells:
+        params = dict(cell.params)
+        key = (cell.benchmark, params.get("opt", 0), params.get("rep", 0))
+        if key in emitted:
+            continue
+        emitted.add(key)
+        members = groups[key]
+        if len(members) == 1:
+            submit.append(cell)
+            continue
+        benchmark, opt_level, repetition = key
+        batch = TaskCell(
+            "sweep-batch", benchmark, spec.window,
+            (
+                ("kind", spec.kind),
+                ("opt", opt_level),
+                ("rep", repetition),
+                ("members", tuple(member.params for member in members)),
+            ),
+        )
+        submit.append(batch)
+        for member in members:
+            batch_of[member] = batch
+    return submit, batch_of
 
 
 # ---------------------------------------------------------------------------
@@ -301,6 +527,10 @@ class SweepOptions:
     out_dir: Optional[str] = None
     #: deterministic fault plan forwarded to the engine (chaos runs).
     fault_plan: Optional[chaos.FaultPlan] = None
+    #: fuse timing cells sharing (workload, opt, rep) into one batched
+    #: trace pass (``--no-batch`` turns this off); the run table is
+    #: byte-identical either way.
+    batch: bool = True
 
     def __post_init__(self):
         if self.jobs is not None and self.jobs < 1:
@@ -509,6 +739,22 @@ def run_sweep(
     options = options if options is not None else SweepOptions()
     started = time.perf_counter()
     points, cells = plan_cells(spec)
+    # Fuse timing groups into batched cells: a submission-shape
+    # optimization only (row identities, cache keys and run-table
+    # bytes are invariant).  Chaos runs stay unfused — fault plans
+    # target the per-cell keys :func:`plan_cells` enumerates.
+    from repro.uarch.pipeline import batch_enabled
+
+    fuse = (
+        spec.kind == "timing"
+        and options.batch
+        and batch_enabled()
+        and options.fault_plan is None
+    )
+    batch_of: Dict[TaskCell, TaskCell] = {}
+    submit = list(cells)
+    if fuse:
+        submit, batch_of = _fuse_cells(spec, cells)
     engine = EngineOptions(
         jobs=options.jobs,
         cache_dir=options.resolved_cache_dir(),
@@ -516,35 +762,82 @@ def run_sweep(
         fault_plan=options.fault_plan,
     )
     if progress is not None:
+        fused_note = (
+            f" fused into {len(submit)}" if len(submit) != len(cells)
+            else ""
+        )
         progress(
-            f"sweep {spec.name}: {len(cells)} cells over "
+            f"sweep {spec.name}: {len(cells)} cells{fused_note} over "
             f"{len(spec.workloads)} workloads "
             f"({engine.effective_jobs()} jobs, cache "
             f"{engine.cache_dir if engine.cache_dir else 'off'})"
         )
-    outcomes = run_cells(cells, engine, progress=progress)
+    outcomes = run_cells(submit, engine, progress=progress)
     by_cell = {outcome.cell: outcome for outcome in outcomes}
 
     rows = []
     for point in points:
         cell = point_cell(spec, point)
-        outcome = by_cell.get(cell)
+        batch_cell = batch_of.get(cell)
+        outcome = by_cell.get(batch_cell if batch_cell is not None
+                              else cell)
         if outcome is None:
             raise RuntimeError(
                 f"engine invariant violated: no outcome for planned "
                 f"cell {cell.label} — every submitted cell must come "
                 f"back as a payload or an annotated gap"
             )
+        if batch_cell is None:
+            rows.append(SweepRow(
+                workload=point.workload,
+                opt_level=point.opt_level,
+                repetition=point.repetition,
+                levels=point.levels,
+                metrics=outcome.payload if outcome.ok else None,
+                error=outcome.error,
+                cache_hit=_cache_hit(outcome),
+                elapsed=outcome.elapsed,
+                attempts=outcome.attempts,
+            ))
+            continue
+        group_size = max(1, len(dict(batch_cell.params)["members"]))
+        attempts = outcome.attempts
+        if not outcome.ok:
+            # The whole fused cell died at the engine level (timeout,
+            # lost worker): every member degrades with that error.
+            metrics, error, cache_hit = None, outcome.error, False
+        else:
+            entry = (
+                outcome.payload.get(cell.params)
+                if isinstance(outcome.payload, Mapping) else None
+            )
+            if entry is None:
+                metrics = None
+                error = (
+                    "batch invariant violated: fused cell returned no "
+                    f"entry for member {cell.label}"
+                )
+                cache_hit = False
+            elif entry.get("ok"):
+                metrics = entry.get("metrics")
+                error = None
+                cache_hit = bool(entry.get("cache_hit", False))
+                attempts = int(entry.get("attempts", 1))
+            else:
+                metrics = None
+                error = entry.get("error", "unknown batch member error")
+                cache_hit = False
+                attempts = int(entry.get("attempts", outcome.attempts))
         rows.append(SweepRow(
             workload=point.workload,
             opt_level=point.opt_level,
             repetition=point.repetition,
             levels=point.levels,
-            metrics=outcome.payload if outcome.ok else None,
-            error=outcome.error,
-            cache_hit=_cache_hit(outcome),
-            elapsed=outcome.elapsed,
-            attempts=outcome.attempts,
+            metrics=metrics,
+            error=error,
+            cache_hit=cache_hit,
+            elapsed=outcome.elapsed / group_size,
+            attempts=attempts,
         ))
 
     result = SweepResult(
@@ -580,5 +873,6 @@ __all__ = [
     "plan_cells",
     "point_cell",
     "run_sweep",
+    "run_sweep_batch_cell",
     "run_sweep_cell",
 ]

@@ -55,9 +55,11 @@ other:
 
 from __future__ import annotations
 
+import copy
+import os
 from collections import deque
 from time import perf_counter
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 from repro import profiling
 from repro.core.stack_cache import StackCache
@@ -71,7 +73,7 @@ from repro.trace.regions import STACK_REGION_FLOOR
 from repro.uarch.bpred import make_predictor
 from repro.uarch.cache import build_hierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.resources import CycleWindow
+from repro.uarch.resources import CycleWindow, grow_windows
 from repro.uarch.stats import SimStats
 
 _DIV_OPS = ("divq", "remq")
@@ -90,6 +92,31 @@ _R_FAST = 1
 _R_REROUTE = 2
 _R_SC = 3
 
+#: Chunk size for the batched round-robin drive: large enough that the
+#: per-chunk generator hand-off cost vanishes, small enough that every
+#: config's walk revisits the same stretch of columns while it is warm.
+_BATCH_CHUNK = 16384
+
+_BATCH_ENABLED = os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def batch_enabled() -> bool:
+    """Is the batched multi-config engine enabled?
+
+    Defaults to on; export ``REPRO_BATCH=0`` (worker processes inherit
+    it) or call :func:`set_batch_enabled` to force the sequential
+    per-config reference path.
+    """
+    return _BATCH_ENABLED
+
+
+def set_batch_enabled(enabled: bool) -> bool:
+    """Enable/disable batched simulation; returns the previous setting."""
+    global _BATCH_ENABLED
+    previous = _BATCH_ENABLED
+    _BATCH_ENABLED = bool(enabled)
+    return previous
+
 
 def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     """Run the timing model over a trace; returns :class:`SimStats`.
@@ -105,10 +132,118 @@ def simulate(trace: Iterable, config: MachineConfig) -> SimStats:
     return _simulate_reference(trace, config)
 
 
+def simulate_batch(trace: Iterable, configs) -> List[SimStats]:
+    """Evaluate many configs in one pass over the trace.
+
+    Returns one :class:`SimStats` per config, in input order, each
+    stat-identical to what sequential per-config :func:`simulate`
+    calls would produce (``tests/test_pipeline_batch.py`` is the
+    differential gate).  The win is structural: every config's walk is
+    a chunk-resumable generator, and a round-robin driver interleaves
+    them through the columns one :data:`_BATCH_CHUNK` at a time, so
+    the trace is walked once per batch instead of once per config; on
+    the numpy leg all steppers additionally share one
+    :class:`_FastColumns` precompute.  Duplicate configs (a common
+    case: ablation grids share one baseline) are simulated once and
+    returned as independent copies.
+
+    With batching disabled (:func:`set_batch_enabled` /
+    ``REPRO_BATCH=0``) or a single config this degrades to sequential
+    :func:`simulate` calls and emits no batch counters.
+    """
+    configs = list(configs)
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_records(trace)
+    if not configs:
+        return []
+    if len(configs) == 1 or not _BATCH_ENABLED:
+        return [simulate(trace, config) for config in configs]
+
+    # MachineConfig is frozen/hashable: dedup to one walk per distinct
+    # config, insertion-ordered so walk order is deterministic.
+    slots: dict = {}
+    for config in configs:
+        if config not in slots:
+            slots[config] = len(slots)
+    unique = list(slots)
+
+    profiler = profiling.active()
+    profile_started = perf_counter() if profiler is not None else 0.0
+    n = len(trace.pc)
+    if _columnar._np is not None and _columnar._NUMPY_ENABLED:
+        columns = _FastColumns(trace)
+        steppers = [_fast_stepper(config, columns) for config in unique]
+    else:
+        steppers = [
+            _reference_stepper(trace, config) for config in unique
+        ]
+    for stepper in steppers:
+        next(stepper)
+    lo = 0
+    while lo < n:
+        hi = lo + _BATCH_CHUNK
+        if hi > n:
+            hi = n
+        for stepper in steppers:
+            stepper.send((lo, hi))
+        lo = hi
+    results = [_finish_stepper(stepper) for stepper in steppers]
+    if profiler is not None:
+        profiler.note(
+            "timing", perf_counter() - profile_started, n * len(unique)
+        )
+        profiler.count("batch_configs", len(configs))
+        profiler.count("batch_walks_saved", len(configs) - 1)
+
+    out: List[SimStats] = []
+    claimed = set()
+    for config in configs:
+        slot = slots[config]
+        stats = results[slot]
+        if slot in claimed:
+            stats = copy.deepcopy(stats)
+        else:
+            claimed.add(slot)
+        out.append(stats)
+    return out
+
+
+def _finish_stepper(stepper) -> SimStats:
+    """Finalize a timing stepper; returns its :class:`SimStats`."""
+    try:
+        stepper.send(None)
+    except StopIteration as stop:
+        return stop.value
+    raise RuntimeError("timing stepper yielded after finalization")
+
+
 def _simulate_reference(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
     """Pure-python reference walk (dict pools; see module docstring)."""
     profiler = profiling.active()
     profile_started = perf_counter() if profiler is not None else 0.0
+    stepper = _reference_stepper(trace, config)
+    next(stepper)
+    stepper.send((0, len(trace.pc)))
+    stats = _finish_stepper(stepper)
+    if profiler is not None:
+        profiler.note(
+            "timing", perf_counter() - profile_started, len(trace.pc)
+        )
+    return stats
+
+
+def _reference_stepper(trace: ColumnarTrace, config: MachineConfig):
+    """Resumable reference walk: a generator driven in index chunks.
+
+    Runs setup up to its first ``yield``, then walks every half-open
+    ``(lo, hi)`` index range sent into it, carrying all
+    microarchitectural state across chunks; sending ``None`` finalizes
+    and raises ``StopIteration`` whose ``value`` is the
+    :class:`~repro.uarch.stats.SimStats`.  Driven with one ``(0, n)``
+    chunk by :func:`_simulate_reference` (so the solo path pays no
+    per-instruction overhead over the pre-batch loop) and round-robin
+    in :data:`_BATCH_CHUNK`-sized chunks by :func:`simulate_batch`.
+    """
     stats = SimStats(config_name=config.name)
     predictor = make_predictor(config.branch_predictor)
     # Perfect prediction is the common case; skip the call entirely.
@@ -219,273 +354,277 @@ def _simulate_reference(trace: ColumnarTrace, config: MachineConfig) -> SimStats
     col_sp = trace.sp
     n = len(col_pc)
 
-    for index in range(n):
-        flags = col_flags[index]
-        is_mem = flags & 3
+    bounds = yield
+    while bounds is not None:
+        lo, hi = bounds
+        for index in range(lo, hi):
+            flags = col_flags[index]
+            is_mem = flags & 3
 
-        # ------------------------------------------- context switches
-        if switch_period and index and index % switch_period == 0:
-            switches += 1
-            redirect_at = max(redirect_at, last_commit + switch_overhead)
-            if svf is not None:
-                switch_bytes += svf.context_switch()
-                entry_ready.clear()
-                pending_gpr_store.clear()
-            if stack_cache is not None:
-                switch_bytes += stack_cache.context_switch()
-            last_store.clear()
+            # ------------------------------------------- context switches
+            if switch_period and index and index % switch_period == 0:
+                switches += 1
+                redirect_at = max(redirect_at, last_commit + switch_overhead)
+                if svf is not None:
+                    switch_bytes += svf.context_switch()
+                    entry_ready.clear()
+                    pending_gpr_store.clear()
+                if stack_cache is not None:
+                    switch_bytes += stack_cache.context_switch()
+                last_store.clear()
 
-        # ------------------------------------------------------ fetch
-        fetch_floor = redirect_at
-        if len(ifq_ring) == ifq_size:
-            head = ifq_ring[0]
-            if head > fetch_floor:
-                fetch_floor = head
-        cycle = fetch_floor
-        used = fetch_used.get(cycle, 0)
-        while used >= fetch_width:
-            cycle += 1
+            # ------------------------------------------------------ fetch
+            fetch_floor = redirect_at
+            if len(ifq_ring) == ifq_size:
+                head = ifq_ring[0]
+                if head > fetch_floor:
+                    fetch_floor = head
+            cycle = fetch_floor
             used = fetch_used.get(cycle, 0)
-        fetch_used[cycle] = used + 1
-        fetch_cycle = cycle
+            while used >= fetch_width:
+                cycle += 1
+                used = fetch_used.get(cycle, 0)
+            fetch_used[cycle] = used + 1
+            fetch_cycle = cycle
 
-        # ---------------------------------------------------- dispatch
-        dispatch_floor = fetch_cycle + frontend_depth
-        if prev_dispatch > dispatch_floor:
-            dispatch_floor = prev_dispatch
-        if decode_block > dispatch_floor:
-            dispatch_floor = decode_block
-        if len(ruu_ring) == ruu_size:
-            head = ruu_ring[0]
-            if head > dispatch_floor:
-                dispatch_floor = head
-        if is_mem and len(lsq_ring) == lsq_size:
-            head = lsq_ring[0]
-            if head > dispatch_floor:
-                dispatch_floor = head
-        cycle = dispatch_floor
-        used = dispatch_used.get(cycle, 0)
-        while used >= dispatch_width:
-            cycle += 1
+            # ---------------------------------------------------- dispatch
+            dispatch_floor = fetch_cycle + frontend_depth
+            if prev_dispatch > dispatch_floor:
+                dispatch_floor = prev_dispatch
+            if decode_block > dispatch_floor:
+                dispatch_floor = decode_block
+            if len(ruu_ring) == ruu_size:
+                head = ruu_ring[0]
+                if head > dispatch_floor:
+                    dispatch_floor = head
+            if is_mem and len(lsq_ring) == lsq_size:
+                head = lsq_ring[0]
+                if head > dispatch_floor:
+                    dispatch_floor = head
+            cycle = dispatch_floor
             used = dispatch_used.get(cycle, 0)
-        dispatch_used[cycle] = used + 1
-        dispatch_cycle = cycle
-        prev_dispatch = dispatch_cycle
-        ifq_ring.append(dispatch_cycle)
+            while used >= dispatch_width:
+                cycle += 1
+                used = dispatch_used.get(cycle, 0)
+            dispatch_used[cycle] = used + 1
+            dispatch_cycle = cycle
+            prev_dispatch = dispatch_cycle
+            ifq_ring.append(dispatch_cycle)
 
-        # SVF front-end bookkeeping: the speculative $sp copy follows
-        # immediate adjustments for free; any other $sp write stalls
-        # decode until it resolves (Section 3.1).
-        if svf is not None and not sp_seen:
-            svf.update_sp(col_sp[index])
-            sp_seen = True
+            # SVF front-end bookkeeping: the speculative $sp copy follows
+            # immediate adjustments for free; any other $sp write stalls
+            # decode until it resolves (Section 3.1).
+            if svf is not None and not sp_seen:
+                svf.update_sp(col_sp[index])
+                sp_seen = True
 
-        # ----------------------------------------------- routing
-        if adaptive and index >= window_end:
-            if window_squashes >= svf_conf.adaptive_threshold:
-                svf_disabled_until = index + svf_conf.adaptive_off_period
-                disables += 1
-                svf.context_switch()  # flush dirty state, go cold
-                pending_gpr_store.clear()
-            window_squashes = 0
-            window_end = index + svf_conf.adaptive_window
+            # ----------------------------------------------- routing
+            if adaptive and index >= window_end:
+                if window_squashes >= svf_conf.adaptive_threshold:
+                    svf_disabled_until = index + svf_conf.adaptive_off_period
+                    disables += 1
+                    svf.context_switch()  # flush dirty state, go cold
+                    pending_gpr_store.clear()
+                window_squashes = 0
+                window_end = index + svf_conf.adaptive_window
 
-        route = _R_DL1
-        qw = 0
-        addr = 0
-        drop_base = False
-        if is_mem:
-            addr = col_addr[index]
-            qw = addr & ~7
-            on_stack = addr >= stack_floor
-            if on_stack:
-                if mode_ideal:
-                    route = _R_FAST
-                elif mode_svf and (
-                    not adaptive or index >= svf_disabled_until
-                ):
-                    if svf.covers(addr):
-                        route = (
-                            _R_FAST
-                            if col_base[index] == SP
-                            else _R_REROUTE
-                        )
-                    else:
-                        stats.svf_out_of_range += 1
-                elif mode_sc:
-                    route = _R_SC
-            drop_base = (route == _R_FAST and spec_sp) or (
-                no_addr_calc and on_stack
-            )
+            route = _R_DL1
+            qw = 0
+            addr = 0
+            drop_base = False
+            if is_mem:
+                addr = col_addr[index]
+                qw = addr & ~7
+                on_stack = addr >= stack_floor
+                if on_stack:
+                    if mode_ideal:
+                        route = _R_FAST
+                    elif mode_svf and (
+                        not adaptive or index >= svf_disabled_until
+                    ):
+                        if svf.covers(addr):
+                            route = (
+                                _R_FAST
+                                if col_base[index] == SP
+                                else _R_REROUTE
+                            )
+                        else:
+                            stats.svf_out_of_range += 1
+                    elif mode_sc:
+                        route = _R_SC
+                drop_base = (route == _R_FAST and spec_sp) or (
+                    no_addr_calc and on_stack
+                )
 
-        # ------------------------------------------------ readiness
-        ready = dispatch_cycle + 1
-        if is_mem and agu_depth and not drop_base:
-            # Deep pipelines place address generation several stages
-            # past dispatch; morphed references resolved in decode
-            # skip those stages entirely (Section 3.1).
-            ready += agu_depth
-        nsrc = col_nsrc[index]
-        if nsrc:
-            if drop_base:
-                base = col_base[index]
-                src = col_src0[index]
-                if src != base and reg_ready[src] > ready:
-                    ready = reg_ready[src]
-                if nsrc > 1:
-                    src = col_src1[index]
+            # ------------------------------------------------ readiness
+            ready = dispatch_cycle + 1
+            if is_mem and agu_depth and not drop_base:
+                # Deep pipelines place address generation several stages
+                # past dispatch; morphed references resolved in decode
+                # skip those stages entirely (Section 3.1).
+                ready += agu_depth
+            nsrc = col_nsrc[index]
+            if nsrc:
+                if drop_base:
+                    base = col_base[index]
+                    src = col_src0[index]
                     if src != base and reg_ready[src] > ready:
                         ready = reg_ready[src]
-            else:
-                when = reg_ready[col_src0[index]]
-                if when > ready:
-                    ready = when
-                if nsrc > 1:
-                    when = reg_ready[col_src1[index]]
+                    if nsrc > 1:
+                        src = col_src1[index]
+                        if src != base and reg_ready[src] > ready:
+                            ready = reg_ready[src]
+                else:
+                    when = reg_ready[col_src0[index]]
                     if when > ready:
                         ready = when
+                    if nsrc > 1:
+                        when = reg_ready[col_src1[index]]
+                        if when > ready:
+                            ready = when
 
-        # ------------------------------------------- issue + latency
-        if is_mem:
-            if route == _R_DL1:
-                port_used = dl1_used
-                port_width = dl1_width
-            elif route == _R_SC:
-                port_used = stack_used
-                port_width = stack_width
-            elif bank_used is not None:
-                port_used = bank_used[(qw >> 3) % num_banks]
-                port_width = 1
-            else:  # svf ports, or None in ideal mode (no port limit)
-                port_used = stack_used
-                port_width = stack_width
-            cycle = ready
-            if port_used is None:
-                used = issue_used.get(cycle, 0)
-                while used >= issue_width:
-                    cycle += 1
+            # ------------------------------------------- issue + latency
+            if is_mem:
+                if route == _R_DL1:
+                    port_used = dl1_used
+                    port_width = dl1_width
+                elif route == _R_SC:
+                    port_used = stack_used
+                    port_width = stack_width
+                elif bank_used is not None:
+                    port_used = bank_used[(qw >> 3) % num_banks]
+                    port_width = 1
+                else:  # svf ports, or None in ideal mode (no port limit)
+                    port_used = stack_used
+                    port_width = stack_width
+                cycle = ready
+                if port_used is None:
                     used = issue_used.get(cycle, 0)
-                issue_used[cycle] = used + 1
+                    while used >= issue_width:
+                        cycle += 1
+                        used = issue_used.get(cycle, 0)
+                    issue_used[cycle] = used + 1
+                else:
+                    while True:
+                        used = issue_used.get(cycle, 0)
+                        if used < issue_width:
+                            port_use = port_used.get(cycle, 0)
+                            if port_use < port_width:
+                                issue_used[cycle] = used + 1
+                                port_used[cycle] = port_use + 1
+                                break
+                        cycle += 1
+                issue_cycle = cycle
+                is_store = flags & 2
+                complete = _memory_complete(
+                    is_store,
+                    addr,
+                    col_size[index],
+                    index,
+                    qw,
+                    route,
+                    issue_cycle,
+                    stats,
+                    config,
+                    dl1,
+                    l2,
+                    svf,
+                    stack_cache,
+                    entry_ready,
+                    last_store,
+                    pending_gpr_store,
+                    dl1_latency,
+                    forward_latency,
+                )
+                if route == _R_FAST and not is_store:
+                    # Squash check: a pending gpr-store to the same word
+                    # that has not completed by our issue time means this
+                    # morphed load read a stale value (Section 3.2).
+                    pending = pending_gpr_store.get(qw)
+                    if (
+                        pending is not None
+                        and pending[0] < index
+                        and pending[1] > issue_cycle
+                    ):
+                        if svf_conf.no_squash:
+                            complete = max(complete, pending[1] + 1)
+                        else:
+                            stats.svf_squashes += 1
+                            window_squashes += 1
+                            redirect_at = max(
+                                redirect_at,
+                                pending[1] + svf_conf.squash_penalty,
+                            )
+                            complete = max(
+                                complete, pending[1] + svf_conf.fast_latency
+                            )
+                lsq_placeholder = True
             else:
+                latency = _MULT_LATENCY[col_opcode[index]]
+                if latency:
+                    fu_used = mult_used
+                    fu_width = mult_width
+                else:
+                    fu_used = alu_used
+                    fu_width = alu_width
+                    latency = 1
+                cycle = ready
                 while True:
                     used = issue_used.get(cycle, 0)
                     if used < issue_width:
-                        port_use = port_used.get(cycle, 0)
-                        if port_use < port_width:
+                        fu_use = fu_used.get(cycle, 0)
+                        if fu_use < fu_width:
                             issue_used[cycle] = used + 1
-                            port_used[cycle] = port_use + 1
+                            fu_used[cycle] = fu_use + 1
                             break
                     cycle += 1
-            issue_cycle = cycle
-            is_store = flags & 2
-            complete = _memory_complete(
-                is_store,
-                addr,
-                col_size[index],
-                index,
-                qw,
-                route,
-                issue_cycle,
-                stats,
-                config,
-                dl1,
-                l2,
-                svf,
-                stack_cache,
-                entry_ready,
-                last_store,
-                pending_gpr_store,
-                dl1_latency,
-                forward_latency,
-            )
-            if route == _R_FAST and not is_store:
-                # Squash check: a pending gpr-store to the same word
-                # that has not completed by our issue time means this
-                # morphed load read a stale value (Section 3.2).
-                pending = pending_gpr_store.get(qw)
-                if (
-                    pending is not None
-                    and pending[0] < index
-                    and pending[1] > issue_cycle
+                issue_cycle = cycle
+                complete = issue_cycle + latency
+                lsq_placeholder = False
+
+            # --------------------------------------------------- branches
+            if flags & 4:
+                branches += 1
+                if predict_bits is not None and not predict_bits(
+                    col_pc[index], flags & 8, flags & 16
                 ):
-                    if svf_conf.no_squash:
-                        complete = max(complete, pending[1] + 1)
-                    else:
-                        stats.svf_squashes += 1
-                        window_squashes += 1
-                        redirect_at = max(
-                            redirect_at,
-                            pending[1] + svf_conf.squash_penalty,
-                        )
-                        complete = max(
-                            complete, pending[1] + svf_conf.fast_latency
-                        )
-            lsq_placeholder = True
-        else:
-            latency = _MULT_LATENCY[col_opcode[index]]
-            if latency:
-                fu_used = mult_used
-                fu_width = mult_width
-            else:
-                fu_used = alu_used
-                fu_width = alu_width
-                latency = 1
-            cycle = ready
-            while True:
-                used = issue_used.get(cycle, 0)
-                if used < issue_width:
-                    fu_use = fu_used.get(cycle, 0)
-                    if fu_use < fu_width:
-                        issue_used[cycle] = used + 1
-                        fu_used[cycle] = fu_use + 1
-                        break
-                cycle += 1
-            issue_cycle = cycle
-            complete = issue_cycle + latency
-            lsq_placeholder = False
+                    mispredictions += 1
+                    redirect_at = max(
+                        redirect_at, complete + mispredict_redirect
+                    )
 
-        # --------------------------------------------------- branches
-        if flags & 4:
-            branches += 1
-            if predict_bits is not None and not predict_bits(
-                col_pc[index], flags & 8, flags & 16
-            ):
-                mispredictions += 1
-                redirect_at = max(
-                    redirect_at, complete + mispredict_redirect
-                )
-
-        # $sp interlock: unexpected (non-immediate) updates stall
-        # decode of everything younger until the new $sp resolves.
-        if flags & 32:
-            if svf is not None:
-                svf.update_sp(col_sp[index])
-            if sp_block_mode and not (
-                col_opcode[index] == _LDA and col_spimm[index] != 0
-            ):
-                # A speculative $sp copy tracks immediate adjustments
-                # for free; anything else blocks decode.
-                if complete > decode_block:
-                    decode_block = complete
-        # ----------------------------------------------------- commit
-        cycle = complete + 1
-        if last_commit > cycle:
-            cycle = last_commit
-        used = commit_used.get(cycle, 0)
-        while used >= commit_width:
-            cycle += 1
+            # $sp interlock: unexpected (non-immediate) updates stall
+            # decode of everything younger until the new $sp resolves.
+            if flags & 32:
+                if svf is not None:
+                    svf.update_sp(col_sp[index])
+                if sp_block_mode and not (
+                    col_opcode[index] == _LDA and col_spimm[index] != 0
+                ):
+                    # A speculative $sp copy tracks immediate adjustments
+                    # for free; anything else blocks decode.
+                    if complete > decode_block:
+                        decode_block = complete
+            # ----------------------------------------------------- commit
+            cycle = complete + 1
+            if last_commit > cycle:
+                cycle = last_commit
             used = commit_used.get(cycle, 0)
-        commit_used[cycle] = used + 1
-        commit_cycle = cycle
-        last_commit = commit_cycle
-        ruu_ring.append(commit_cycle)
-        if lsq_placeholder:
-            lsq_ring.append(commit_cycle)
+            while used >= commit_width:
+                cycle += 1
+                used = commit_used.get(cycle, 0)
+            commit_used[cycle] = used + 1
+            commit_cycle = cycle
+            last_commit = commit_cycle
+            ruu_ring.append(commit_cycle)
+            if lsq_placeholder:
+                lsq_ring.append(commit_cycle)
 
-        # ---------------------------------------------------- results
-        dst = col_dst[index]
-        if dst >= 0:
-            reg_ready[dst] = complete
+            # ---------------------------------------------------- results
+            dst = col_dst[index]
+            if dst >= 0:
+                reg_ready[dst] = complete
+        bounds = yield
 
     stats.instructions = n
     stats.branches = branches
@@ -505,9 +644,69 @@ def _simulate_reference(trace: ColumnarTrace, config: MachineConfig) -> SimStats
     if switch_period:
         stats.extras["context_switches"] = switches
         stats.extras["switch_writeback_bytes"] = switch_bytes
-    if profiler is not None:
-        profiler.note("timing", perf_counter() - profile_started, n)
     return stats
+
+
+class _FastColumns:
+    """Config-invariant per-trace precompute for the vectorized walk.
+
+    Everything the fast walk derives from the trace alone — the flat
+    python lists, the quad-word/stack-region/FU-latency columns, the
+    branch count — is computed once here.  The solo path builds one
+    per call (the same cost the pre-batch code paid inline);
+    :func:`simulate_batch` builds one and shares it across every
+    config in the batch, which is where the batched fast path gets
+    its second win on top of the single trace walk.  ``pc_list`` is
+    lazy because only non-perfect predictors read the PC column.
+    """
+
+    __slots__ = (
+        "n", "flags_l", "opcode_l", "size_l", "nsrc_l", "src0_l",
+        "src1_l", "base_l", "dst_l", "sp_l", "spimm_l", "addr_l",
+        "qw_l", "on_stack_l", "fu_latency_l", "total_branches",
+        "_trace", "_pc_l",
+    )
+
+    def __init__(self, trace: ColumnarTrace):
+        np = _columnar._np
+        self._trace = trace
+        self._pc_l = None
+        self.n = n = len(trace.pc)
+        self.flags_l = list(trace.flags)
+        self.opcode_l = list(trace.opcode)
+        self.size_l = list(trace.size)
+        self.nsrc_l = list(trace.nsrc)
+        self.src0_l = list(trace.src0)
+        self.src1_l = list(trace.src1)
+        self.base_l = trace.base.tolist()
+        self.dst_l = trace.dst.tolist()
+        self.sp_l = trace.sp.tolist()
+        self.spimm_l = trace.spimm.tolist()
+        self.addr_l = trace.addr.tolist()
+        if n:
+            flags_np = np.frombuffer(trace.flags, dtype=np.uint8)
+            addr_np = np.frombuffer(trace.addr, dtype="<u8")
+            opcode_np = np.frombuffer(trace.opcode, dtype=np.uint8)
+            self.qw_l = (
+                addr_np & np.uint64(0xFFFF_FFFF_FFFF_FFF8)
+            ).tolist()
+            self.on_stack_l = (
+                addr_np >= np.uint64(STACK_REGION_FLOOR)
+            ).tolist()
+            self.fu_latency_l = np.asarray(
+                _MULT_LATENCY, dtype=np.int64
+            )[opcode_np].tolist()
+            self.total_branches = int(np.count_nonzero(flags_np & 4))
+        else:
+            self.qw_l = []
+            self.on_stack_l = []
+            self.fu_latency_l = []
+            self.total_branches = 0
+
+    def pc_list(self) -> list:
+        if self._pc_l is None:
+            self._pc_l = self._trace.pc.tolist()
+        return self._pc_l
 
 
 def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
@@ -525,7 +724,24 @@ def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
     """
     profiler = profiling.active()
     profile_started = perf_counter() if profiler is not None else 0.0
-    np = _columnar._np
+    stepper = _fast_stepper(config, _FastColumns(trace))
+    next(stepper)
+    stepper.send((0, len(trace.pc)))
+    stats = _finish_stepper(stepper)
+    if profiler is not None:
+        profiler.note(
+            "timing", perf_counter() - profile_started, len(trace.pc)
+        )
+    return stats
+
+
+def _fast_stepper(config: MachineConfig, columns: _FastColumns):
+    """Resumable vectorized walk over pre-shared columns.
+
+    Same chunked-generator protocol as :func:`_reference_stepper`;
+    all trace-derived state comes from ``columns`` so a batch of
+    steppers shares one :class:`_FastColumns`.
+    """
     stats = SimStats(config_name=config.name)
     predictor = make_predictor(config.branch_predictor)
     predict_bits = getattr(predictor, "predict_bits", None)
@@ -546,36 +762,25 @@ def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
     elif mode == "stack_cache":
         stack_cache = StackCache(capacity_bytes=svf_conf.capacity_bytes)
 
-    n = len(trace.pc)
+    n = columns.n
 
-    # ------------------------------- columns as flat lists + precompute
-    flags_l = list(trace.flags)
-    opcode_l = list(trace.opcode)
-    size_l = list(trace.size)
-    nsrc_l = list(trace.nsrc)
-    src0_l = list(trace.src0)
-    src1_l = list(trace.src1)
-    base_l = trace.base.tolist()
-    dst_l = trace.dst.tolist()
-    sp_l = trace.sp.tolist()
-    spimm_l = trace.spimm.tolist()
-    addr_l = trace.addr.tolist()
-    pc_l = trace.pc.tolist() if predict_bits is not None else None
-    if n:
-        flags_np = np.frombuffer(trace.flags, dtype=np.uint8)
-        addr_np = np.frombuffer(trace.addr, dtype="<u8")
-        opcode_np = np.frombuffer(trace.opcode, dtype=np.uint8)
-        qw_l = (addr_np & np.uint64(0xFFFF_FFFF_FFFF_FFF8)).tolist()
-        on_stack_l = (addr_np >= np.uint64(STACK_REGION_FLOOR)).tolist()
-        fu_latency_l = np.asarray(_MULT_LATENCY, dtype=np.int64)[
-            opcode_np
-        ].tolist()
-        total_branches = int(np.count_nonzero(flags_np & 4))
-    else:
-        qw_l = []
-        on_stack_l = []
-        fu_latency_l = []
-        total_branches = 0
+    # -------------------------- columns shared across the whole batch
+    flags_l = columns.flags_l
+    opcode_l = columns.opcode_l
+    size_l = columns.size_l
+    nsrc_l = columns.nsrc_l
+    src0_l = columns.src0_l
+    src1_l = columns.src1_l
+    base_l = columns.base_l
+    dst_l = columns.dst_l
+    sp_l = columns.sp_l
+    spimm_l = columns.spimm_l
+    addr_l = columns.addr_l
+    pc_l = columns.pc_list() if predict_bits is not None else None
+    qw_l = columns.qw_l
+    on_stack_l = columns.on_stack_l
+    fu_latency_l = columns.fu_latency_l
+    total_branches = columns.total_branches
 
     # --------------------------------------- dense occupancy windows
     # The horizon tracks the highest commit cycle so far; every cycle
@@ -713,123 +918,257 @@ def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
     out_of_range = 0
     squashes = 0
 
-    for index in range(n):
-        if horizon + margin >= pool_len:
-            minimum = horizon + 2 * margin + 1024
-            for window in windows:
-                pool_len = window.grow(minimum)
-        flags = flags_l[index]
-        is_mem = flags & 3
+    bounds = yield
+    while bounds is not None:
+        lo, hi = bounds
+        for index in range(lo, hi):
+            if horizon + margin >= pool_len:
+                pool_len = grow_windows(windows, horizon + 2 * margin + 1024)
+            flags = flags_l[index]
+            is_mem = flags & 3
 
-        # ------------------------------------------- context switches
-        if switch_period and index and index % switch_period == 0:
-            switches += 1
-            when = commit_cur + switch_overhead
-            if when > redirect_at:
-                redirect_at = when
-            if svf is not None:
-                switch_bytes += svf.context_switch()
-                entry_ready.clear()
-                pending_gpr_store.clear()
-            if stack_cache is not None:
-                switch_bytes += stack_cache.context_switch()
-            last_store.clear()
+            # ------------------------------------------- context switches
+            if switch_period and index and index % switch_period == 0:
+                switches += 1
+                when = commit_cur + switch_overhead
+                if when > redirect_at:
+                    redirect_at = when
+                if svf is not None:
+                    switch_bytes += svf.context_switch()
+                    entry_ready.clear()
+                    pending_gpr_store.clear()
+                if stack_cache is not None:
+                    switch_bytes += stack_cache.context_switch()
+                last_store.clear()
 
-        # ------------------------------------------------------ fetch
-        cycle = redirect_at
-        if index >= ifq_size:
-            head = disp_hist[index - ifq_size]
-            if head > cycle:
-                cycle = head
-        if cycle > fetch_cur:
-            fetch_cur = cycle
-            fetch_cnt = 1
-        elif fetch_cnt < fetch_width:
-            fetch_cnt += 1
-        else:
-            fetch_cur += 1
-            fetch_cnt = 1
-        fetch_cycle = fetch_cur
+            # ------------------------------------------------------ fetch
+            cycle = redirect_at
+            if index >= ifq_size:
+                head = disp_hist[index - ifq_size]
+                if head > cycle:
+                    cycle = head
+            if cycle > fetch_cur:
+                fetch_cur = cycle
+                fetch_cnt = 1
+            elif fetch_cnt < fetch_width:
+                fetch_cnt += 1
+            else:
+                fetch_cur += 1
+                fetch_cnt = 1
+            fetch_cycle = fetch_cur
 
-        # ---------------------------------------------------- dispatch
-        cycle = fetch_cycle + frontend_depth
-        if disp_cur > cycle:
-            cycle = disp_cur
-        if decode_block > cycle:
-            cycle = decode_block
-        if index >= ruu_size:
-            head = commit_hist[index - ruu_size]
-            if head > cycle:
-                cycle = head
-        if is_mem and mem_count >= lsq_size:
-            head = lsq_hist[mem_count - lsq_size]
-            if head > cycle:
-                cycle = head
-        if cycle > disp_cur:
-            disp_cur = cycle
-            disp_cnt = 1
-        elif disp_cnt < dispatch_width:
-            disp_cnt += 1
-        else:
-            disp_cur += 1
-            disp_cnt = 1
-        dispatch_cycle = disp_cur
-        disp_append(dispatch_cycle)
+            # ---------------------------------------------------- dispatch
+            cycle = fetch_cycle + frontend_depth
+            if disp_cur > cycle:
+                cycle = disp_cur
+            if decode_block > cycle:
+                cycle = decode_block
+            if index >= ruu_size:
+                head = commit_hist[index - ruu_size]
+                if head > cycle:
+                    cycle = head
+            if is_mem and mem_count >= lsq_size:
+                head = lsq_hist[mem_count - lsq_size]
+                if head > cycle:
+                    cycle = head
+            if cycle > disp_cur:
+                disp_cur = cycle
+                disp_cnt = 1
+            elif disp_cnt < dispatch_width:
+                disp_cnt += 1
+            else:
+                disp_cur += 1
+                disp_cnt = 1
+            dispatch_cycle = disp_cur
+            disp_append(dispatch_cycle)
 
-        if not sp_seen:
-            svf.update_sp(sp_l[index])
-            sp_seen = True
+            if not sp_seen:
+                svf.update_sp(sp_l[index])
+                sp_seen = True
 
-        # ----------------------------------------------- routing
-        if adaptive and index >= window_end:
-            if window_squashes >= adaptive_threshold:
-                svf_disabled_until = index + adaptive_off_period
-                disables += 1
-                svf.context_switch()
-                pending_gpr_store.clear()
-            window_squashes = 0
-            window_end = index + adaptive_window
+            # ----------------------------------------------- routing
+            if adaptive and index >= window_end:
+                if window_squashes >= adaptive_threshold:
+                    svf_disabled_until = index + adaptive_off_period
+                    disables += 1
+                    svf.context_switch()
+                    pending_gpr_store.clear()
+                window_squashes = 0
+                window_end = index + adaptive_window
 
-        # -------------------------- routing, readiness, issue, latency
-        if is_mem:
-            addr = addr_l[index]
-            qw = qw_l[index]
-            on_stack = on_stack_l[index]
-            route = _R_DL1
-            if on_stack:
-                if mode_ideal:
-                    route = _R_FAST
-                elif mode_svf and (
-                    not adaptive or index >= svf_disabled_until
-                ):
-                    if svf_covers(addr):
-                        route = (
-                            _R_FAST
-                            if base_l[index] == sp_reg
-                            else _R_REROUTE
-                        )
-                    else:
-                        out_of_range += 1
-                elif mode_sc:
-                    route = _R_SC
-            drop_base = (route == _R_FAST and spec_sp) or (
-                no_addr_calc and on_stack
-            )
-            ready = dispatch_cycle + 1
-            if agu_depth and not drop_base:
-                ready += agu_depth
-            nsrc = nsrc_l[index]
-            if nsrc:
-                if drop_base:
-                    base = base_l[index]
-                    src = src0_l[index]
-                    if src != base and reg_ready[src] > ready:
-                        ready = reg_ready[src]
-                    if nsrc > 1:
-                        src = src1_l[index]
+            # -------------------------- routing, readiness, issue, latency
+            if is_mem:
+                addr = addr_l[index]
+                qw = qw_l[index]
+                on_stack = on_stack_l[index]
+                route = _R_DL1
+                if on_stack:
+                    if mode_ideal:
+                        route = _R_FAST
+                    elif mode_svf and (
+                        not adaptive or index >= svf_disabled_until
+                    ):
+                        if svf_covers(addr):
+                            route = (
+                                _R_FAST
+                                if base_l[index] == sp_reg
+                                else _R_REROUTE
+                            )
+                        else:
+                            out_of_range += 1
+                    elif mode_sc:
+                        route = _R_SC
+                drop_base = (route == _R_FAST and spec_sp) or (
+                    no_addr_calc and on_stack
+                )
+                ready = dispatch_cycle + 1
+                if agu_depth and not drop_base:
+                    ready += agu_depth
+                nsrc = nsrc_l[index]
+                if nsrc:
+                    if drop_base:
+                        base = base_l[index]
+                        src = src0_l[index]
                         if src != base and reg_ready[src] > ready:
                             ready = reg_ready[src]
+                        if nsrc > 1:
+                            src = src1_l[index]
+                            if src != base and reg_ready[src] > ready:
+                                ready = reg_ready[src]
+                    else:
+                        when = reg_ready[src0_l[index]]
+                        if when > ready:
+                            ready = when
+                        if nsrc > 1:
+                            when = reg_ready[src1_l[index]]
+                            if when > ready:
+                                ready = when
+                if route == _R_DL1:
+                    port_slots = dl1_slots
+                    port_width = dl1_width
+                elif route == _R_SC:
+                    port_slots = stack_slots
+                    port_width = stack_width
+                elif bank_slots is not None:
+                    port_slots = bank_slots[(qw >> 3) % num_banks]
+                    port_width = 1
+                else:  # svf ports, or None in ideal mode (no port limit)
+                    port_slots = stack_slots
+                    port_width = stack_width
+                cycle = ready
+                if port_slots is None:
+                    used = issue_slots[cycle]
+                    while used >= issue_width:
+                        cycle += 1
+                        used = issue_slots[cycle]
+                    issue_slots[cycle] = used + 1
                 else:
+                    while True:
+                        used = issue_slots[cycle]
+                        if used < issue_width:
+                            port_use = port_slots[cycle]
+                            if port_use < port_width:
+                                issue_slots[cycle] = used + 1
+                                port_slots[cycle] = port_use + 1
+                                break
+                        cycle += 1
+                issue_cycle = cycle
+                is_store = flags & 2
+                if is_store:
+                    stores += 1
+                else:
+                    loads += 1
+                # Inlined _memory_complete, route by route.
+                if route == _R_DL1:
+                    if is_store:
+                        dl1_access(addr, True)
+                        complete = issue_cycle + 1
+                        last_store[qw] = (index, complete)
+                    else:
+                        forwarded = ls_get(qw)
+                        if forwarded is not None and forwarded[1] > issue_cycle:
+                            store_forwards += 1
+                            when = forwarded[1]
+                            complete = (
+                                issue_cycle if issue_cycle > when else when
+                            ) + forward_latency
+                        else:
+                            complete = issue_cycle + dl1_access(addr)
+                elif route == _R_FAST:
+                    fast_latency = svf_fast_latency
+                    if svf is not None:
+                        outcome = svf_access(addr, size_l[index], is_store != 0)
+                        if outcome.filled:
+                            fast_latency = dl1_access(addr) + 1
+                    if is_store:
+                        fast_stores += 1
+                        complete = issue_cycle + svf_fast_latency
+                        entry_ready[qw] = complete
+                    else:
+                        fast_loads += 1
+                        complete = issue_cycle + fast_latency
+                        when = er_get(qw, 0) + 1
+                        if when > complete:
+                            complete = when
+                        # Squash check (Section 3.2): a pending gpr-store
+                        # to the same word not complete by our issue time.
+                        pending = pg_get(qw)
+                        if (
+                            pending is not None
+                            and pending[0] < index
+                            and pending[1] > issue_cycle
+                        ):
+                            when = pending[1]
+                            if no_squash:
+                                if when + 1 > complete:
+                                    complete = when + 1
+                            else:
+                                squashes += 1
+                                window_squashes += 1
+                                if when + squash_penalty > redirect_at:
+                                    redirect_at = when + squash_penalty
+                                if when + svf_fast_latency > complete:
+                                    complete = when + svf_fast_latency
+                elif route == _R_REROUTE:
+                    rerouted += 1
+                    outcome = svf_access(addr, size_l[index], is_store != 0)
+                    access_latency = reroute_latency
+                    if outcome.filled:
+                        access_latency = dl1_access(addr) + 1
+                    if is_store:
+                        complete = issue_cycle + 1
+                        entry_ready[qw] = complete
+                        pending_gpr_store[qw] = (index, complete)
+                    else:
+                        when = er_get(qw, 0)
+                        complete = (
+                            issue_cycle if issue_cycle > when else when
+                        ) + access_latency
+                else:  # _R_SC
+                    outcome = stack_cache.access(
+                        addr, size_l[index], is_store != 0
+                    )
+                    if outcome.hit:
+                        access_latency = dl1_latency
+                    else:
+                        access_latency = l2.access(addr, is_store != 0)
+                    if is_store:
+                        complete = issue_cycle + 1
+                        last_store[qw] = (index, complete)
+                    else:
+                        forwarded = ls_get(qw)
+                        if forwarded is not None and forwarded[1] > issue_cycle:
+                            store_forwards += 1
+                            when = forwarded[1]
+                            complete = (
+                                issue_cycle if issue_cycle > when else when
+                            ) + forward_latency
+                        else:
+                            complete = issue_cycle + access_latency
+            else:
+                ready = dispatch_cycle + 1
+                nsrc = nsrc_l[index]
+                if nsrc:
                     when = reg_ready[src0_l[index]]
                     if when > ready:
                         ready = when
@@ -837,199 +1176,67 @@ def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
                         when = reg_ready[src1_l[index]]
                         if when > ready:
                             ready = when
-            if route == _R_DL1:
-                port_slots = dl1_slots
-                port_width = dl1_width
-            elif route == _R_SC:
-                port_slots = stack_slots
-                port_width = stack_width
-            elif bank_slots is not None:
-                port_slots = bank_slots[(qw >> 3) % num_banks]
-                port_width = 1
-            else:  # svf ports, or None in ideal mode (no port limit)
-                port_slots = stack_slots
-                port_width = stack_width
-            cycle = ready
-            if port_slots is None:
-                used = issue_slots[cycle]
-                while used >= issue_width:
-                    cycle += 1
-                    used = issue_slots[cycle]
-                issue_slots[cycle] = used + 1
-            else:
+                latency = fu_latency_l[index]
+                if latency:
+                    fu_slots = mult_slots
+                    fu_width = mult_width
+                else:
+                    fu_slots = alu_slots
+                    fu_width = alu_width
+                    latency = 1
+                cycle = ready
                 while True:
                     used = issue_slots[cycle]
                     if used < issue_width:
-                        port_use = port_slots[cycle]
-                        if port_use < port_width:
+                        fu_use = fu_slots[cycle]
+                        if fu_use < fu_width:
                             issue_slots[cycle] = used + 1
-                            port_slots[cycle] = port_use + 1
+                            fu_slots[cycle] = fu_use + 1
                             break
                     cycle += 1
-            issue_cycle = cycle
-            is_store = flags & 2
-            if is_store:
-                stores += 1
-            else:
-                loads += 1
-            # Inlined _memory_complete, route by route.
-            if route == _R_DL1:
-                if is_store:
-                    dl1_access(addr, True)
-                    complete = issue_cycle + 1
-                    last_store[qw] = (index, complete)
-                else:
-                    forwarded = ls_get(qw)
-                    if forwarded is not None and forwarded[1] > issue_cycle:
-                        store_forwards += 1
-                        when = forwarded[1]
-                        complete = (
-                            issue_cycle if issue_cycle > when else when
-                        ) + forward_latency
-                    else:
-                        complete = issue_cycle + dl1_access(addr)
-            elif route == _R_FAST:
-                fast_latency = svf_fast_latency
+                complete = cycle + latency
+
+            # --------------------------------------------------- branches
+            if predict_bits is not None and flags & 4:
+                branches += 1
+                if not predict_bits(pc_l[index], flags & 8, flags & 16):
+                    mispredictions += 1
+                    when = complete + mispredict_redirect
+                    if when > redirect_at:
+                        redirect_at = when
+
+            # $sp interlock: unexpected (non-immediate) updates stall
+            # decode of everything younger until the new $sp resolves.
+            if flags & 32:
                 if svf is not None:
-                    outcome = svf_access(addr, size_l[index], is_store != 0)
-                    if outcome.filled:
-                        fast_latency = dl1_access(addr) + 1
-                if is_store:
-                    fast_stores += 1
-                    complete = issue_cycle + svf_fast_latency
-                    entry_ready[qw] = complete
-                else:
-                    fast_loads += 1
-                    complete = issue_cycle + fast_latency
-                    when = er_get(qw, 0) + 1
-                    if when > complete:
-                        complete = when
-                    # Squash check (Section 3.2): a pending gpr-store
-                    # to the same word not complete by our issue time.
-                    pending = pg_get(qw)
-                    if (
-                        pending is not None
-                        and pending[0] < index
-                        and pending[1] > issue_cycle
-                    ):
-                        when = pending[1]
-                        if no_squash:
-                            if when + 1 > complete:
-                                complete = when + 1
-                        else:
-                            squashes += 1
-                            window_squashes += 1
-                            if when + squash_penalty > redirect_at:
-                                redirect_at = when + squash_penalty
-                            if when + svf_fast_latency > complete:
-                                complete = when + svf_fast_latency
-            elif route == _R_REROUTE:
-                rerouted += 1
-                outcome = svf_access(addr, size_l[index], is_store != 0)
-                access_latency = reroute_latency
-                if outcome.filled:
-                    access_latency = dl1_access(addr) + 1
-                if is_store:
-                    complete = issue_cycle + 1
-                    entry_ready[qw] = complete
-                    pending_gpr_store[qw] = (index, complete)
-                else:
-                    when = er_get(qw, 0)
-                    complete = (
-                        issue_cycle if issue_cycle > when else when
-                    ) + access_latency
-            else:  # _R_SC
-                outcome = stack_cache.access(
-                    addr, size_l[index], is_store != 0
-                )
-                if outcome.hit:
-                    access_latency = dl1_latency
-                else:
-                    access_latency = l2.access(addr, is_store != 0)
-                if is_store:
-                    complete = issue_cycle + 1
-                    last_store[qw] = (index, complete)
-                else:
-                    forwarded = ls_get(qw)
-                    if forwarded is not None and forwarded[1] > issue_cycle:
-                        store_forwards += 1
-                        when = forwarded[1]
-                        complete = (
-                            issue_cycle if issue_cycle > when else when
-                        ) + forward_latency
-                    else:
-                        complete = issue_cycle + access_latency
-        else:
-            ready = dispatch_cycle + 1
-            nsrc = nsrc_l[index]
-            if nsrc:
-                when = reg_ready[src0_l[index]]
-                if when > ready:
-                    ready = when
-                if nsrc > 1:
-                    when = reg_ready[src1_l[index]]
-                    if when > ready:
-                        ready = when
-            latency = fu_latency_l[index]
-            if latency:
-                fu_slots = mult_slots
-                fu_width = mult_width
+                    svf.update_sp(sp_l[index])
+                if sp_block_mode and not (
+                    opcode_l[index] == lda_op and spimm_l[index] != 0
+                ):
+                    if complete > decode_block:
+                        decode_block = complete
+            # ----------------------------------------------------- commit
+            cycle = complete + 1
+            if cycle > commit_cur:
+                commit_cur = cycle
+                commit_cnt = 1
+            elif commit_cnt < commit_width:
+                commit_cnt += 1
             else:
-                fu_slots = alu_slots
-                fu_width = alu_width
-                latency = 1
-            cycle = ready
-            while True:
-                used = issue_slots[cycle]
-                if used < issue_width:
-                    fu_use = fu_slots[cycle]
-                    if fu_use < fu_width:
-                        issue_slots[cycle] = used + 1
-                        fu_slots[cycle] = fu_use + 1
-                        break
-                cycle += 1
-            complete = cycle + latency
+                commit_cur += 1
+                commit_cnt = 1
+            cycle = commit_cur
+            commit_append(cycle)
+            if is_mem:
+                lsq_append(cycle)
+                mem_count += 1
+            horizon = cycle
 
-        # --------------------------------------------------- branches
-        if predict_bits is not None and flags & 4:
-            branches += 1
-            if not predict_bits(pc_l[index], flags & 8, flags & 16):
-                mispredictions += 1
-                when = complete + mispredict_redirect
-                if when > redirect_at:
-                    redirect_at = when
-
-        # $sp interlock: unexpected (non-immediate) updates stall
-        # decode of everything younger until the new $sp resolves.
-        if flags & 32:
-            if svf is not None:
-                svf.update_sp(sp_l[index])
-            if sp_block_mode and not (
-                opcode_l[index] == lda_op and spimm_l[index] != 0
-            ):
-                if complete > decode_block:
-                    decode_block = complete
-        # ----------------------------------------------------- commit
-        cycle = complete + 1
-        if cycle > commit_cur:
-            commit_cur = cycle
-            commit_cnt = 1
-        elif commit_cnt < commit_width:
-            commit_cnt += 1
-        else:
-            commit_cur += 1
-            commit_cnt = 1
-        cycle = commit_cur
-        commit_append(cycle)
-        if is_mem:
-            lsq_append(cycle)
-            mem_count += 1
-        horizon = cycle
-
-        # ---------------------------------------------------- results
-        dst = dst_l[index]
-        if dst >= 0:
-            reg_ready[dst] = complete
+            # ---------------------------------------------------- results
+            dst = dst_l[index]
+            if dst >= 0:
+                reg_ready[dst] = complete
+        bounds = yield
 
     stats.instructions = n
     stats.branches = total_branches if predict_bits is None else branches
@@ -1057,8 +1264,6 @@ def _simulate_fast(trace: ColumnarTrace, config: MachineConfig) -> SimStats:
     if switch_period:
         stats.extras["context_switches"] = switches
         stats.extras["switch_writeback_bytes"] = switch_bytes
-    if profiler is not None:
-        profiler.note("timing", perf_counter() - profile_started, n)
     return stats
 
 

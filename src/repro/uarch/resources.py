@@ -92,6 +92,20 @@ class CycleWindow:
         return self.slots[cycle]
 
 
+def grow_windows(windows: Iterable[CycleWindow], minimum: int) -> int:
+    """Grow every window to at least ``minimum`` slots; returns new len.
+
+    All windows of one walk are created with the same capacity and
+    grown together, so the returned length is valid for every one of
+    them.  Growth is in place (``slots`` keeps its identity), so flat
+    aliases of the slot lists held by the caller stay valid.
+    """
+    length = 0
+    for window in windows:
+        length = window.grow(minimum)
+    return length
+
+
 def acquire_all(pools: Iterable[CyclePool], cycle: int) -> int:
     """Take one unit of *each* pool at the earliest common free cycle."""
     pool_list = list(pools)

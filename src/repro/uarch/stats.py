@@ -60,6 +60,11 @@ class SimStats:
         return baseline.cycles / self.cycles
 
     @property
+    def svf_morphed(self) -> int:
+        """References morphed into register moves (fast loads + stores)."""
+        return self.svf_fast_loads + self.svf_fast_stores
+
+    @property
     def svf_fast_fraction(self) -> float:
         """Fraction of SVF references morphed in the front-end (Fig 8)."""
         total = (

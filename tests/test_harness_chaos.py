@@ -205,15 +205,15 @@ class TestCorruptVsTransient:
                                                  monkeypatch):
         cache = TraceCache(str(tmp_path))
         cache.store_cell(self.CELL, {"x": 1})
-        real_load = pickle.load
+        real_read = parallel_module.Path.read_bytes
         failures = iter([OSError(errno.EINTR, "interrupted")])
 
-        def flaky(handle):
+        def flaky(path):
             for exc in failures:
                 raise exc
-            return real_load(handle)
+            return real_read(path)
 
-        monkeypatch.setattr(parallel_module.pickle, "load", flaky)
+        monkeypatch.setattr(parallel_module.Path, "read_bytes", flaky)
         assert cache.load_cell(self.CELL) is parallel_module._MISS
         assert cache.cell_path_for(self.CELL).exists()
         assert cache.stats.transient_errors == 1

@@ -26,7 +26,7 @@ from repro.trace.analysis import (
 from repro.trace.columnar import set_numpy_enabled
 from repro.trace.first_touch import FirstTouchProfile
 from repro.uarch.config import table2_config
-from repro.uarch.pipeline import simulate
+from repro.uarch.pipeline import simulate, simulate_batch
 from repro.workloads import workload
 
 #: generous wall-clock ceilings (seconds); measured cold ~0.2s total.
@@ -148,6 +148,26 @@ def test_vectorized_timing_budget():
     stat = profiler.phases["timing"]
     assert stat.items == 2 * WINDOW
     assert stat.seconds < TIMING_BUDGET / 2, profiler.render()
+
+
+@pytest.mark.perf
+def test_batched_timing_budget():
+    # One batched pass over four configs must fit the budget two
+    # sequential walks get: the batch shares the trace walk and the
+    # config-invariant precompute instead of multiplying them.  Fires
+    # if simulate_batch silently degrades to a per-config loop.
+    trace = workload("gzip").trace(max_instructions=WINDOW)
+    base = table2_config(16)
+    configs = [base] + [
+        base.with_svf(mode="svf", ports=ports) for ports in (1, 2, 16)
+    ]
+    with profiled() as profiler:
+        stats = simulate_batch(trace, configs)
+    assert len(stats) == len(configs)
+    assert profiler.counters["batch_walks_saved"] == len(configs) - 1
+    assert profiler.phases["timing"].seconds < TIMING_BUDGET, (
+        profiler.render()
+    )
 
 
 @pytest.mark.perf

@@ -135,7 +135,7 @@ class TestCacheSchemaInvalidation:
 
         cache = TraceCache(str(tmp_path))
         assert cache.root == tmp_path / f"v{SCHEMA_VERSION}"
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
 
     def test_stale_v1_entries_never_read(self, tmp_path):
         from repro.harness.parallel import TraceCache

@@ -95,6 +95,7 @@ FACADE_SURFACE = {
     "predict",
     "run_workload",
     "simulate",
+    "simulate_batch",
     "sweep",
     "sweep_json",
     "versioned",
